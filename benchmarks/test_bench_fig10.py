@@ -1,0 +1,39 @@
+"""Benchmark regenerating Figure 10 (asynchronous bandwidth on NOC-Out)."""
+
+from conftest import BANDWIDTH_SIZES, BENCH_MEASURE_CYCLES, BENCH_WARMUP_CYCLES
+
+from repro.experiments import run_fig7, run_fig10
+
+
+def test_bench_fig10(benchmark):
+    result = benchmark.pedantic(
+        run_fig10,
+        kwargs={
+            "sizes": BANDWIDTH_SIZES,
+            "warmup_cycles": BENCH_WARMUP_CYCLES,
+            "measure_cycles": BENCH_MEASURE_CYCLES,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+    edge = result.column("NIedge (GBps)")
+    split = result.column("NIsplit (GBps)")
+    assert all(value > 0 for value in edge + split)
+    # The contended 8-bank LLC row is the NOC-Out bottleneck.
+    assert max(result.column("LLC bank utilization, NIsplit")) > 0.8
+
+
+def test_bench_fig10_peak_below_mesh(benchmark):
+    """Paper: NOC-Out's peak bandwidth is significantly below the mesh's (§6.3.1)."""
+
+    def run_both():
+        nocout = run_fig10(sizes=(512,), warmup_cycles=BENCH_WARMUP_CYCLES,
+                           measure_cycles=BENCH_MEASURE_CYCLES)
+        mesh = run_fig7(sizes=(512,), warmup_cycles=BENCH_WARMUP_CYCLES,
+                        measure_cycles=BENCH_MEASURE_CYCLES)
+        return nocout, mesh
+
+    nocout, mesh = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert nocout.column("NIsplit (GBps)")[0] < 0.8 * mesh.column("NIsplit (GBps)")[0]

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 5 (latency projection vs hop count)."""
+
+import pytest
+
+from repro.experiments import run_fig5
+
+
+def test_bench_fig5(benchmark):
+    result = benchmark(run_fig5)
+    hops = result.column("Hops")
+    assert hops == list(range(13))
+    edge = result.column("NIedge overhead (%)")
+    split = result.column("NIsplit overhead (%)")
+    # Paper: 28.6% vs 4.7% at six hops, 16.2% vs 2.6% at the torus diameter.
+    assert edge[6] == pytest.approx(28.6, abs=0.5)
+    assert split[6] == pytest.approx(4.7, abs=0.3)
+    assert edge[12] == pytest.approx(16.2, abs=0.5)
+    assert split[12] == pytest.approx(2.6, abs=0.3)

@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 6 (synchronous remote-read latency, mesh NOC)."""
+
+from conftest import LATENCY_ITERATIONS, LATENCY_SIZES, LATENCY_WARMUP
+
+from repro.experiments import run_fig6
+
+
+def test_bench_fig6(benchmark):
+    result = benchmark.pedantic(
+        run_fig6,
+        kwargs={
+            "sizes": LATENCY_SIZES,
+            "iterations": LATENCY_ITERATIONS,
+            "warmup": LATENCY_WARMUP,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+    edge = result.column("NIedge (ns)")
+    split = result.column("NIsplit (ns)")
+    per_tile = result.column("NIper-tile (ns)")
+    numa = result.column("NUMA projection (ns)")
+    # Paper shape: for small transfers NIedge is clearly slower than NIsplit,
+    # which is close to NIper-tile; NUMA is the lower bound; for the largest
+    # transfers NIper-tile becomes the slowest design (source-tile unrolling).
+    assert edge[0] > 1.2 * split[0]
+    assert abs(split[0] - per_tile[0]) / per_tile[0] < 0.15
+    assert numa[0] < split[0]
+    assert per_tile[-1] > split[-1]
+    assert per_tile[-1] >= edge[-1] * 0.95
+    # Latency grows monotonically with the transfer size for every design.
+    for series in (edge, split, per_tile):
+        assert series == sorted(series)

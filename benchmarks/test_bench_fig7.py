@@ -1,0 +1,31 @@
+"""Benchmark regenerating Figure 7 (asynchronous remote-read bandwidth, mesh NOC)."""
+
+from conftest import BANDWIDTH_SIZES, BENCH_MEASURE_CYCLES, BENCH_WARMUP_CYCLES
+
+from repro.experiments import run_fig7
+
+
+def test_bench_fig7(benchmark):
+    result = benchmark.pedantic(
+        run_fig7,
+        kwargs={
+            "sizes": BANDWIDTH_SIZES,
+            "warmup_cycles": BENCH_WARMUP_CYCLES,
+            "measure_cycles": BENCH_MEASURE_CYCLES,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+    edge = result.column("NIedge (GBps)")
+    split = result.column("NIsplit (GBps)")
+    per_tile = result.column("NIper-tile (GBps)")
+    # Paper shape: NIedge suffers at the smallest transfers (QP ping-pong),
+    # NIsplit matches or beats it everywhere, and NIper-tile falls behind the
+    # edge-backend designs for bulk transfers.
+    assert edge[0] < 0.7 * split[0]
+    assert split[-1] >= 0.9 * edge[-1]
+    assert per_tile[-1] < split[-1]
+    # All designs move hundreds of GBps at the bulk end (NOC-limited regime).
+    assert split[-1] > 100.0

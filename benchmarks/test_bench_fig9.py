@@ -1,0 +1,40 @@
+"""Benchmark regenerating Figure 9 (synchronous latency on NOC-Out)."""
+
+from conftest import LATENCY_ITERATIONS, LATENCY_SIZES, LATENCY_WARMUP
+
+from repro.experiments import run_fig6, run_fig9
+
+
+def test_bench_fig9(benchmark):
+    result = benchmark.pedantic(
+        run_fig9,
+        kwargs={
+            "sizes": LATENCY_SIZES,
+            "iterations": LATENCY_ITERATIONS,
+            "warmup": LATENCY_WARMUP,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+    edge = result.column("NIedge (ns)")
+    split = result.column("NIsplit (ns)")
+    per_tile = result.column("NIper-tile (ns)")
+    # Paper shape: QP interactions still penalize NIedge on a latency-optimized
+    # NOC, and NIper-tile remains the slowest for the largest transfers.
+    assert edge[0] > 1.1 * split[0]
+    assert per_tile[-1] > split[-1]
+
+
+def test_bench_fig9_vs_mesh_small_transfers(benchmark):
+    """NOC-Out lowers small-transfer latency relative to the mesh (§6.3.1)."""
+
+    def run_both():
+        nocout = run_fig9(sizes=(64,), iterations=LATENCY_ITERATIONS, warmup=LATENCY_WARMUP)
+        mesh = run_fig6(sizes=(64,), iterations=LATENCY_ITERATIONS, warmup=LATENCY_WARMUP)
+        return nocout, mesh
+
+    nocout, mesh = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert nocout.column("NIsplit (ns)")[0] < mesh.column("NIsplit (ns)")[0]
+    assert nocout.column("NIedge (ns)")[0] < mesh.column("NIedge (ns)")[0]

@@ -1,0 +1,16 @@
+"""Benchmark for the NI-cache owned-state ablation (§3.4)."""
+
+from repro.experiments import run_owned_state_ablation
+
+
+def test_bench_owned_state_ablation(benchmark):
+    result = benchmark.pedantic(
+        run_owned_state_ablation, kwargs={"iterations": 4}, rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+    rows = {(row[0], row[1]): row[2] for row in result.rows}
+    # Disabling the owned state adds an LLC round trip to every CQ poll of a
+    # dirty block, so it can never be faster.
+    assert rows[("split", "off")] >= rows[("split", "on")]
+    assert rows[("per_tile", "off")] >= rows[("per_tile", "on")]

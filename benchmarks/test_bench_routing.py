@@ -1,0 +1,27 @@
+"""Benchmark for the on-chip routing ablation (§4.3, §6.2 text)."""
+
+from conftest import BENCH_MEASURE_CYCLES, BENCH_WARMUP_CYCLES
+
+from repro.config import RoutingAlgorithm
+from repro.experiments import run_routing_ablation
+
+
+def test_bench_routing_ablation(benchmark):
+    result = benchmark.pedantic(
+        run_routing_ablation,
+        kwargs={
+            "transfer_bytes": 2048,
+            "policies": (RoutingAlgorithm.XY, RoutingAlgorithm.CDR, RoutingAlgorithm.CDR_EXTENDED),
+            "warmup_cycles": BENCH_WARMUP_CYCLES,
+            "measure_cycles": BENCH_MEASURE_CYCLES,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+    bandwidth = dict(zip(result.column("Routing"), result.column("Application (GBps)")))
+    # Paper: class-based routing clearly outperforms plain dimension-order
+    # routing, which turns the MC/NI edge columns into hotspots.
+    assert bandwidth["cdr_extended"] > bandwidth["xy"]
+    assert bandwidth["cdr"] > 0 and bandwidth["xy"] > 0

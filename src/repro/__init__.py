@@ -1,0 +1,41 @@
+"""repro — a reproduction of "Manycore Network Interfaces for In-Memory
+Rack-Scale Computing" (Daglis et al., ISCA 2015).
+
+The package provides a message-level simulator of a 64-core rack-scale SoC
+with the three NI designs studied in the paper (NIedge, NIper-tile, NIsplit),
+an idealized hardware-NUMA baseline, the analytical latency/bandwidth models
+behind the paper's tables and projections, the microbenchmarks of §5 and an
+experiment harness that regenerates every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import SystemConfig, NIDesign
+    from repro.workloads import RemoteReadLatencyBenchmark
+
+    config = SystemConfig.paper_defaults().with_design(NIDesign.SPLIT)
+    bench = RemoteReadLatencyBenchmark(config, iterations=5)
+    result = bench.run(transfer_bytes=64)
+    print(result.mean_ns, "ns")
+"""
+
+from repro.version import __version__
+from repro.config import (
+    SystemConfig,
+    NIDesign,
+    TopologyKind,
+    RoutingAlgorithm,
+    MessageClass,
+    CACHE_BLOCK_BYTES,
+)
+from repro.errors import ReproError
+
+__all__ = [
+    "__version__",
+    "SystemConfig",
+    "NIDesign",
+    "TopologyKind",
+    "RoutingAlgorithm",
+    "MessageClass",
+    "CACHE_BLOCK_BYTES",
+    "ReproError",
+]

@@ -1,0 +1,21 @@
+"""Analytical models: zero-load latency breakdowns, hop-count projections and
+bandwidth bounds, cross-validated against the discrete-event simulator."""
+
+from repro.analysis.breakdown import (
+    BreakdownComponent,
+    DesignBreakdown,
+    LatencyBreakdownModel,
+)
+from repro.analysis.projection import HopProjection, ProjectionPoint
+from repro.analysis.bandwidth_model import BandwidthModel
+from repro.analysis.report import format_table
+
+__all__ = [
+    "BreakdownComponent",
+    "DesignBreakdown",
+    "LatencyBreakdownModel",
+    "HopProjection",
+    "ProjectionPoint",
+    "BandwidthModel",
+    "format_table",
+]

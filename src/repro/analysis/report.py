@@ -1,0 +1,41 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import ExperimentError
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 float_format: str = "%.1f") -> str:
+    """Render an aligned plain-text table.
+
+    Numbers are formatted with ``float_format``; everything else with ``str``.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                "row has %d cells but there are %d headers" % (len(row), len(headers))
+            )
+        rendered_rows.append([_render(cell, float_format) for cell in row])
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _render(cell: object, float_format: str) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return float_format % cell
+    return str(cell)

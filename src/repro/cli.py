@@ -1,0 +1,58 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Examples::
+
+    repro-experiments --list
+    repro-experiments table1 table3 fig5
+    repro-experiments --fast
+    repro-experiments fig7 --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.runner import FAST_EXPERIMENTS, format_results, run_experiments
+from repro.experiments.registry import list_experiments
+from repro.version import PAPER_TITLE, PAPER_VENUE, __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of '%s' (%s)." % (PAPER_TITLE, PAPER_VENUE),
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiments to run (default: all); see --list")
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument("--fast", action="store_true",
+                        help="run only the analytical (sub-second) experiments")
+    parser.add_argument("--output", metavar="PATH", default=None,
+                        help="also write the formatted results to PATH")
+    parser.add_argument("--version", action="version", version="repro %s" % __version__)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in list_experiments():
+            print(name)
+        return 0
+    names = args.experiments or None
+    if args.fast and not names:
+        names = list(FAST_EXPERIMENTS)
+    results = run_experiments(names)
+    text = format_results(results)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,464 @@
+"""Message-level choreography of the MESI directory protocol.
+
+:class:`CoherenceProtocol` turns read/write requests from the registered
+cache complexes (cores' L1s, NI caches, or collocated pairs) into the
+sequences of NOC messages shown in the paper's Fig. 2:
+
+* a **write** that misses (GetX) travels to the block's home directory, which
+  invalidates every sharer and forwards the data; the requester resumes only
+  after the data *and* every invalidation acknowledgement arrive (3-hop
+  invalidation protocol);
+* a **read** that misses (GetRO) either gets the data from the LLC slice or,
+  when another cache holds the block modified, triggers a forward to the
+  owner which supplies the data and downgrades (writing back to the LLC).
+
+The directory is *blocking*: while a transaction for a block is outstanding,
+later requests for the same block queue at the home slice.  This both keeps
+the model race-free and reproduces the serialization that makes WQ/CQ blocks
+ping-pong between a core and an edge NI.
+
+All on-chip transfers go through :class:`~repro.noc.fabric.NocFabric`, so hop
+counts, serialization and link contention are accounted naturally for every
+protocol message.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.coherence.caches import TileCacheComplex
+from repro.coherence.directory import DirectoryController, DirectoryEntry
+from repro.coherence.messages import (
+    CoherenceMessage,
+    CoherenceMessageType,
+    message_class,
+)
+from repro.coherence.states import CacheState
+from repro.errors import CoherenceError
+from repro.noc.fabric import NocFabric
+from repro.sim.engine import Simulator
+
+#: Fixed controller occupancy charged at each protocol endpoint, on top of
+#: the structure's access latency (MSHR allocation, state lookup, message
+#: formatting).  A small constant typical of aggressive coherence controllers.
+CONTROLLER_OVERHEAD_CYCLES = 2
+
+
+@dataclass
+class AccessResult:
+    """Completion record handed to the requester's callback."""
+
+    addr: int
+    write: bool
+    start_time: float
+    complete_time: float
+    served_locally: bool
+    #: Physical structure that supplied the block for local hits ("l1"/"ni").
+    local_source: Optional[str] = None
+
+    @property
+    def latency(self) -> float:
+        return self.complete_time - self.start_time
+
+
+@dataclass
+class _Transaction:
+    """Book-keeping for one outstanding remote coherence transaction."""
+
+    txn_id: int
+    complex: TileCacheComplex
+    requester_kind: str
+    addr: int
+    write: bool
+    start_time: float
+    on_done: Callable[[AccessResult], None]
+    home_tile: int = 0
+    home_node: Hashable = None
+    acks_needed: int = 0
+    acks_received: int = 0
+    data_received: bool = False
+    completed: bool = False
+
+
+class CoherenceProtocol:
+    """Drives MESI transactions over the NOC fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: NocFabric,
+        directory: DirectoryController,
+        home_node_of_tile: Callable[[int], Hashable],
+        llc_latency_cycles: int = 6,
+        memory_access: Optional[Callable[[Hashable, int, Callable[[], None]], None]] = None,
+        fallback_memory_latency_cycles: int = 100,
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.directory = directory
+        self.home_node_of_tile = home_node_of_tile
+        self.llc_latency_cycles = llc_latency_cycles
+        self.memory_access = memory_access
+        self.fallback_memory_latency_cycles = fallback_memory_latency_cycles
+        self._complexes: Dict[Hashable, TileCacheComplex] = {}
+        self._txn_ids = itertools.count()
+        # Statistics
+        self.local_hits = 0
+        self.remote_transactions = 0
+        self.invalidations_sent = 0
+        self.forwards_sent = 0
+        self.local_writeback_roundtrips = 0
+
+    # ------------------------------------------------------------------
+    # Registration and setup
+    # ------------------------------------------------------------------
+    def register_complex(self, complex_: TileCacheComplex) -> None:
+        """Register a coherence entity (a tile's L1[+NI cache] or an edge NI cache)."""
+        if complex_.entity_id in self._complexes:
+            raise CoherenceError("entity %r registered twice" % (complex_.entity_id,))
+        self._complexes[complex_.entity_id] = complex_
+
+    def complex_of(self, entity_id: Hashable) -> TileCacheComplex:
+        try:
+            return self._complexes[entity_id]
+        except KeyError:
+            raise CoherenceError("unknown coherence entity %r" % (entity_id,)) from None
+
+    def prewarm(self, addr: int) -> None:
+        """Mark a block clean-in-LLC (steady-state setup for QP blocks)."""
+        self.directory.prewarm(addr)
+
+    # ------------------------------------------------------------------
+    # Public access API
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        entity_id: Hashable,
+        requester_kind: str,
+        addr: int,
+        write: bool,
+        on_done: Callable[[AccessResult], None],
+    ) -> None:
+        """Perform a coherent read (``write=False``) or write to ``addr``.
+
+        ``requester_kind`` identifies which side of the complex issues the
+        access: "core" (through the L1) or "ni" (through the NI cache).
+        ``on_done`` is invoked, at completion time, with an
+        :class:`AccessResult`.
+        """
+        complex_ = self.complex_of(entity_id)
+        start = self.sim.now
+        lookup = complex_.local_lookup(requester_kind, addr, write)
+        if lookup.hit:
+            self.local_hits += 1
+            if lookup.requires_writeback:
+                # Owned-state optimization disabled: write the dirty block
+                # back to the LLC before the local forward may complete.
+                self.local_writeback_roundtrips += 1
+                self._writeback_roundtrip(complex_, addr, lookup.latency, start, write,
+                                          lookup.source, on_done)
+                return
+            self.sim.schedule(
+                lookup.latency,
+                self._complete_local,
+                complex_, addr, write, start, lookup.source, on_done,
+            )
+            return
+        # Miss inside the complex: start a remote transaction after the
+        # local lookup latency (miss determination).
+        txn = _Transaction(
+            txn_id=next(self._txn_ids),
+            complex=complex_,
+            requester_kind=requester_kind,
+            addr=self.directory.block_address(addr),
+            write=write,
+            start_time=start,
+            on_done=on_done,
+        )
+        txn.home_tile = self.directory.home_tile(addr)
+        txn.home_node = self.home_node_of_tile(txn.home_tile)
+        self.remote_transactions += 1
+        self.sim.schedule(lookup.latency + CONTROLLER_OVERHEAD_CYCLES, self._send_request, txn)
+
+    def zero_load_miss_latency_estimate(self, src_node: Hashable, home_node: Hashable) -> float:
+        """Analytical helper: request + data reply latency on an idle NOC."""
+        request = self.fabric.zero_load_latency(src_node, home_node, 8)
+        reply = self.fabric.zero_load_latency(home_node, src_node, 64)
+        return request + self.llc_latency_cycles + 2 * CONTROLLER_OVERHEAD_CYCLES + reply
+
+    # ------------------------------------------------------------------
+    # Local completion paths
+    # ------------------------------------------------------------------
+    def _complete_local(
+        self,
+        complex_: TileCacheComplex,
+        addr: int,
+        write: bool,
+        start: float,
+        source: Optional[str],
+        on_done: Callable[[AccessResult], None],
+    ) -> None:
+        on_done(
+            AccessResult(
+                addr=addr,
+                write=write,
+                start_time=start,
+                complete_time=self.sim.now,
+                served_locally=True,
+                local_source=source,
+            )
+        )
+
+    def _writeback_roundtrip(
+        self,
+        complex_: TileCacheComplex,
+        addr: int,
+        local_latency: int,
+        start: float,
+        write: bool,
+        source: Optional[str],
+        on_done: Callable[[AccessResult], None],
+    ) -> None:
+        home_tile = self.directory.home_tile(addr)
+        home_node = self.home_node_of_tile(home_tile)
+        entry = self.directory.entry(addr)
+
+        def after_ack(_packet) -> None:
+            self._complete_local(complex_, addr, write, start, source, on_done)
+
+        def at_home(_packet) -> None:
+            entry.in_llc = True
+            self.fabric.send(
+                home_node,
+                complex_.node,
+                CoherenceMessageType.UNBLOCK.payload_bytes,
+                message_class(CoherenceMessageType.UNBLOCK, from_directory=True),
+                after_ack,
+            )
+
+        def send_writeback() -> None:
+            self.fabric.send(
+                complex_.node,
+                home_node,
+                CoherenceMessageType.WRITEBACK.payload_bytes,
+                message_class(CoherenceMessageType.WRITEBACK, from_directory=False),
+                lambda pkt: self.sim.schedule(self.llc_latency_cycles, at_home, pkt),
+            )
+
+        self.sim.schedule(local_latency, send_writeback)
+
+    # ------------------------------------------------------------------
+    # Remote transaction choreography
+    # ------------------------------------------------------------------
+    def _send_request(self, txn: _Transaction) -> None:
+        msg_type = (
+            CoherenceMessageType.GET_EXCLUSIVE if txn.write else CoherenceMessageType.GET_READ_ONLY
+        )
+        self.fabric.send(
+            txn.complex.node,
+            txn.home_node,
+            msg_type.payload_bytes,
+            message_class(msg_type, from_directory=False),
+            lambda pkt: self._arrive_at_directory(txn),
+            payload=CoherenceMessage(msg_type, txn.addr, txn.complex.node, txn.home_node, txn.txn_id),
+        )
+
+    def _arrive_at_directory(self, txn: _Transaction) -> None:
+        entry = self.directory.entry(txn.addr)
+        if entry.busy:
+            self.directory.transactions_queued += 1
+            entry.pending.append(txn)
+            return
+        entry.busy = True
+        self.directory.transactions_started += 1
+        self.sim.schedule(self.llc_latency_cycles, self._directory_act, txn, entry)
+
+    def _directory_act(self, txn: _Transaction, entry: DirectoryEntry) -> None:
+        requester_id = txn.complex.entity_id
+        owner = entry.owner if entry.owner != requester_id else None
+        sharers = {s for s in entry.sharers if s != requester_id}
+        if txn.write:
+            self._handle_write_at_directory(txn, entry, owner, sharers)
+        else:
+            self._handle_read_at_directory(txn, entry, owner)
+
+    # -- writes --------------------------------------------------------
+    def _handle_write_at_directory(
+        self,
+        txn: _Transaction,
+        entry: DirectoryEntry,
+        owner: Optional[Hashable],
+        sharers,
+    ) -> None:
+        requester_id = txn.complex.entity_id
+        if owner is not None:
+            # 3-hop forward: the owner supplies the data and invalidates itself.
+            self.forwards_sent += 1
+            owner_complex = self.complex_of(owner)
+            self._send_forward(txn, entry, owner_complex, invalidate_owner=True)
+        else:
+            txn.acks_needed = len(sharers)
+            for sharer in sharers:
+                self._send_invalidate(txn, entry, self.complex_of(sharer))
+            self._send_data_from_home(txn, entry)
+        entry.record_exclusive(requester_id)
+
+    # -- reads ---------------------------------------------------------
+    def _handle_read_at_directory(
+        self,
+        txn: _Transaction,
+        entry: DirectoryEntry,
+        owner: Optional[Hashable],
+    ) -> None:
+        requester_id = txn.complex.entity_id
+        if owner is not None and self.complex_of(owner).holds_dirty(txn.addr):
+            self.forwards_sent += 1
+            owner_complex = self.complex_of(owner)
+            self._send_forward(txn, entry, owner_complex, invalidate_owner=False)
+            entry.record_shared({owner, requester_id})
+            entry.in_llc = True  # the owner writes back a copy
+        else:
+            if owner is not None:
+                # Clean-exclusive owner: silently downgrade it to shared.
+                self.complex_of(owner).downgrade(txn.addr)
+                entry.sharers.add(owner)
+                entry.owner = None
+            txn.acks_needed = 0
+            self._send_data_from_home(txn, entry)
+            entry.sharers.add(requester_id)
+
+    # -- message helpers ------------------------------------------------
+    def _send_invalidate(self, txn: _Transaction, entry: DirectoryEntry,
+                         target: TileCacheComplex) -> None:
+        self.invalidations_sent += 1
+        msg = CoherenceMessageType.INVALIDATE
+
+        def at_target(_packet) -> None:
+            delay = CONTROLLER_OVERHEAD_CYCLES
+            if target.l1 is not None:
+                delay += target.l1.access_latency
+            elif target.ni_cache is not None:
+                delay += target.ni_cache.access_latency
+            target.invalidate(txn.addr)
+            self.sim.schedule(delay, self._send_inv_ack, txn, target)
+
+        self.fabric.send(
+            txn.home_node, target.node, msg.payload_bytes,
+            message_class(msg, from_directory=True), at_target,
+        )
+
+    def _send_inv_ack(self, txn: _Transaction, target: TileCacheComplex) -> None:
+        msg = CoherenceMessageType.INV_ACK
+        self.fabric.send(
+            target.node, txn.complex.node, msg.payload_bytes,
+            message_class(msg, from_directory=False),
+            lambda pkt: self._ack_arrived(txn),
+        )
+
+    def _ack_arrived(self, txn: _Transaction) -> None:
+        txn.acks_received += 1
+        self._maybe_complete(txn)
+
+    def _send_data_from_home(self, txn: _Transaction, entry: DirectoryEntry) -> None:
+        msg = CoherenceMessageType.MISS_NOTIFY_DATA
+
+        def dispatch() -> None:
+            self.fabric.send(
+                txn.home_node, txn.complex.node, msg.payload_bytes,
+                message_class(msg, from_directory=True),
+                lambda pkt: self._data_arrived(txn),
+            )
+
+        if entry.in_llc:
+            dispatch()
+        else:
+            # The LLC slice does not have the block: fetch it from memory.
+            self.directory.memory_fetches += 1
+            entry.in_llc = True
+            if self.memory_access is not None:
+                self.memory_access(txn.home_node, txn.addr, dispatch)
+            else:
+                self.sim.schedule(self.fallback_memory_latency_cycles, dispatch)
+
+    def _send_forward(self, txn: _Transaction, entry: DirectoryEntry,
+                      owner_complex: TileCacheComplex, invalidate_owner: bool) -> None:
+        fwd = CoherenceMessageType.FWD_GET
+
+        def at_owner(_packet) -> None:
+            delay = CONTROLLER_OVERHEAD_CYCLES
+            if owner_complex.l1 is not None:
+                delay += owner_complex.l1.access_latency
+            elif owner_complex.ni_cache is not None:
+                delay += owner_complex.ni_cache.access_latency
+            self.sim.schedule(delay, owner_responds)
+
+        def owner_responds() -> None:
+            if invalidate_owner:
+                owner_complex.invalidate(txn.addr)
+            else:
+                owner_complex.downgrade(txn.addr)
+                # Keep the LLC copy up to date (off the critical path).
+                wb = CoherenceMessageType.WRITEBACK
+                self.fabric.send(
+                    owner_complex.node, txn.home_node, wb.payload_bytes,
+                    message_class(wb, from_directory=False), None,
+                )
+            reply = CoherenceMessageType.DATA_REPLY
+            self.fabric.send(
+                owner_complex.node, txn.complex.node, reply.payload_bytes,
+                message_class(reply, from_directory=False),
+                lambda pkt: self._data_arrived(txn),
+            )
+
+        self.fabric.send(
+            txn.home_node, owner_complex.node, fwd.payload_bytes,
+            message_class(fwd, from_directory=True), at_owner,
+        )
+
+    # -- completion ------------------------------------------------------
+    def _data_arrived(self, txn: _Transaction) -> None:
+        txn.data_received = True
+        self._maybe_complete(txn)
+
+    def _maybe_complete(self, txn: _Transaction) -> None:
+        if txn.completed:
+            return
+        if not txn.data_received or txn.acks_received < txn.acks_needed:
+            return
+        txn.completed = True
+        install_latency = CONTROLLER_OVERHEAD_CYCLES
+        if txn.requester_kind == "core" and txn.complex.l1 is not None:
+            install_latency += txn.complex.l1.access_latency
+        elif txn.complex.ni_cache is not None:
+            install_latency += txn.complex.ni_cache.access_latency
+        state = CacheState.MODIFIED if txn.write else CacheState.SHARED
+        into = "core" if (txn.requester_kind == "core" and txn.complex.l1 is not None) else "ni"
+        txn.complex.install(txn.addr, state, into)
+        self.sim.schedule(install_latency, self._finish, txn)
+
+    def _finish(self, txn: _Transaction) -> None:
+        txn.on_done(
+            AccessResult(
+                addr=txn.addr,
+                write=txn.write,
+                start_time=txn.start_time,
+                complete_time=self.sim.now,
+                served_locally=False,
+            )
+        )
+        # Unblock the home directory (off the requester's critical path).
+        msg = CoherenceMessageType.UNBLOCK
+        self.fabric.send(
+            txn.complex.node, txn.home_node, msg.payload_bytes,
+            message_class(msg, from_directory=False),
+            lambda pkt: self._unblock(txn.addr),
+        )
+
+    def _unblock(self, addr: int) -> None:
+        entry = self.directory.entry(addr)
+        entry.busy = False
+        if entry.pending:
+            next_txn = entry.pending.pop(0)
+            self._arrive_at_directory(next_txn)

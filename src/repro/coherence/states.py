@@ -1,0 +1,38 @@
+"""Cache block states.
+
+The base protocol is MESI.  The additional OWNED state is only ever used by
+the NI cache controller (§3.4): it marks a block whose dirty data the NI
+cache still owns after forwarding a clean copy to the collocated core's L1,
+so the block is written back to the LLC on eviction instead of immediately.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CacheState(enum.Enum):
+    """MESI states plus the NI-cache-only OWNED state."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+    #: NI-cache-only: dirty data retained after forwarding a clean copy.
+    OWNED = "O"
+
+    @property
+    def readable(self) -> bool:
+        """Whether a cache holding the block in this state may satisfy loads."""
+        return self in (CacheState.MODIFIED, CacheState.EXCLUSIVE,
+                        CacheState.SHARED, CacheState.OWNED)
+
+    @property
+    def writable(self) -> bool:
+        """Whether a cache holding the block in this state may satisfy stores."""
+        return self in (CacheState.MODIFIED, CacheState.EXCLUSIVE)
+
+    @property
+    def dirty(self) -> bool:
+        """Whether this copy must eventually be written back."""
+        return self in (CacheState.MODIFIED, CacheState.OWNED)

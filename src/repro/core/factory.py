@@ -1,0 +1,32 @@
+"""Factory for NI design assemblies."""
+
+from __future__ import annotations
+
+from repro.config import NIDesign
+from repro.core.assembly import BaseNIDesign
+from repro.core.base import NodeServices
+from repro.core.edge import NIEdgeDesign
+from repro.core.per_tile import NIPerTileDesign
+from repro.core.placement import ChipPlacement
+from repro.core.split import NISplitDesign
+from repro.errors import ConfigurationError
+
+_DESIGNS = {
+    NIDesign.EDGE: NIEdgeDesign,
+    NIDesign.PER_TILE: NIPerTileDesign,
+    NIDesign.SPLIT: NISplitDesign,
+}
+
+
+def build_ni_design(services: NodeServices, placement: ChipPlacement) -> BaseNIDesign:
+    """Build (but not yet :meth:`~BaseNIDesign.build`) the configured NI design."""
+    design = services.config.ni.design
+    if design is NIDesign.NUMA:
+        raise ConfigurationError(
+            "the NUMA baseline has no QP-based NI; use repro.numa.NumaMachine instead"
+        )
+    try:
+        cls = _DESIGNS[design]
+    except KeyError:
+        raise ConfigurationError("unknown NI design %r" % design) from None
+    return cls(services, placement)

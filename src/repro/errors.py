@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures without masking programming errors such as
+``TypeError`` or ``KeyError`` raised by the standard library.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A :class:`~repro.config.SystemConfig` (or derived object) is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel detected an inconsistent state."""
+
+
+class TopologyError(ReproError):
+    """An on-chip or rack topology was asked for an impossible route/node."""
+
+
+class RoutingError(TopologyError):
+    """A routing function could not produce a legal path."""
+
+
+class CoherenceError(ReproError):
+    """The coherence protocol reached an illegal state transition."""
+
+
+class ProtocolError(ReproError):
+    """The soNUMA wire protocol was violated (malformed or out-of-order message)."""
+
+
+class QueueError(ReproError):
+    """A work/completion queue operation was illegal (full, empty, bad index)."""
+
+
+class PlacementError(ReproError):
+    """An NI placement or frontend-to-backend mapping is inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """A workload/microbenchmark was configured with unusable parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failed to produce its table or figure data."""

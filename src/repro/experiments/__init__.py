@@ -1,0 +1,36 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every experiment returns an :class:`~repro.experiments.base.ExperimentResult`
+whose rows mirror the series the paper reports; ``repro-experiments`` (the
+CLI) and the pytest-benchmark suite drive them.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.routing_ablation import run_routing_ablation
+from repro.experiments.owned_state_ablation import run_owned_state_ablation
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig9",
+    "run_fig10",
+    "run_routing_ablation",
+    "run_owned_state_ablation",
+]

@@ -1,0 +1,38 @@
+"""Common result container for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.analysis.report import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular output of one experiment (one table or figure of the paper)."""
+
+    name: str
+    description: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def format(self) -> str:
+        """Render the experiment as plain text."""
+        parts = ["== %s ==" % self.name, self.description, "", format_table(self.headers, self.rows)]
+        if self.notes:
+            parts.append("")
+            parts.extend("note: %s" % note for note in self.notes)
+        return "\n".join(parts)
+
+    def column(self, header: str) -> List[object]:
+        """All values of one column (raises if the header is unknown)."""
+        index = list(self.headers).index(header)
+        return [row[index] for row in self.rows]

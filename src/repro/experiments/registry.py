@@ -1,0 +1,49 @@
+"""Registry mapping experiment names to their runner functions."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.owned_state_ablation import run_owned_state_ablation
+from repro.experiments.routing_ablation import run_routing_ablation
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+ExperimentRunner = Callable[..., ExperimentResult]
+
+#: All regenerable tables/figures, keyed by the name used on the CLI.
+EXPERIMENTS: Dict[str, ExperimentRunner] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "routing": run_routing_ablation,
+    "owned-state": run_owned_state_ablation,
+}
+
+
+def list_experiments() -> List[str]:
+    """Names of every registered experiment."""
+    return sorted(EXPERIMENTS)
+
+
+def get_experiment(name: str) -> ExperimentRunner:
+    """Look up an experiment runner by name."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise ExperimentError(
+            "unknown experiment %r (available: %s)" % (name, ", ".join(list_experiments()))
+        ) from None

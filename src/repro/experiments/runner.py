@@ -1,0 +1,26 @@
+"""Batch experiment runner used by the CLI."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import get_experiment, list_experiments
+
+#: Experiments that complete in well under a second (analytical only).
+FAST_EXPERIMENTS = ("table1", "table2", "table3", "fig5")
+
+
+def run_experiments(names: Optional[Iterable[str]] = None) -> List[ExperimentResult]:
+    """Run the named experiments (all of them when ``names`` is None)."""
+    selected = list(names) if names is not None else list_experiments()
+    results = []
+    for name in selected:
+        runner = get_experiment(name)
+        results.append(runner())
+    return results
+
+
+def format_results(results: Iterable[ExperimentResult]) -> str:
+    """Concatenate formatted experiment outputs."""
+    return "\n\n".join(result.format() for result in results)

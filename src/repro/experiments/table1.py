@@ -1,0 +1,46 @@
+"""Table 1: latency comparison of the QP-based model and a pure load/store interface.
+
+The paper's Table 1 breaks a single-block remote read (one network hop) into
+its components for the NIedge-based QP model (710 cycles) and the idealized
+NUMA machine (395 cycles), showing a 79.7 % overhead dominated by the
+coherence-based QP interactions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.breakdown import LatencyBreakdownModel
+from repro.config import SystemConfig
+from repro.experiments.base import ExperimentResult
+
+
+def run_table1(config: Optional[SystemConfig] = None, hops: int = 1) -> ExperimentResult:
+    """Regenerate Table 1."""
+    config = config if config is not None else SystemConfig.paper_defaults()
+    model = LatencyBreakdownModel(config)
+    table = model.table1(hops=hops)
+    qp, numa = table["qp_based"], table["numa"]
+    result = ExperimentResult(
+        name="Table 1",
+        description="Zero-load latency of a QP-based single-block remote read vs. a "
+                    "load/store NUMA machine (%d network hop, 2 GHz cycles)." % hops,
+        headers=["QP-based component", "cycles", "NUMA component", "cycles"],
+    )
+    rows = max(len(qp.components), len(numa.components))
+    for index in range(rows):
+        qp_label, qp_cycles = ("", "")
+        numa_label, numa_cycles = ("", "")
+        if index < len(qp.components):
+            qp_label = qp.components[index].label
+            qp_cycles = qp.components[index].cycles
+        if index < len(numa.components):
+            numa_label = numa.components[index].label
+            numa_cycles = numa.components[index].cycles
+        result.add_row(qp_label, qp_cycles, numa_label, numa_cycles)
+    result.add_row("Total (2GHz cycles)", qp.total_cycles, "Total (2GHz cycles)", numa.total_cycles)
+    overhead = qp.overhead_over(numa)
+    result.add_row("Overhead over NUMA", "%.1f%%" % (100 * overhead), "", "")
+    result.add_note("paper reports 710 vs 395 cycles (79.7%% overhead); this model: "
+                    "%d vs %d (%.1f%%)" % (qp.total_cycles, numa.total_cycles, 100 * overhead))
+    return result

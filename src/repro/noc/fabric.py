@@ -1,0 +1,172 @@
+"""Packet-granularity NOC contention model.
+
+Every directed link of the topology is backed by a FIFO
+:class:`~repro.sim.resource.Channel`; a packet occupies each link it crosses
+for its flit count (one flit per cycle on the 16-byte links of Table 2).  The
+head of the packet advances one hop per ``hop_cycles`` after it is granted a
+link, and the tail arrives ``flits - 1`` cycles after the head at the final
+hop, so the zero-load latency is ``hops * hop_cycles + (flits - 1)`` and
+contended links introduce queuing exactly where the paper observes it (the MC
+and NI edge columns, the mesh bisection, the per-tile unroll paths).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Optional, Sequence, Tuple
+
+from repro.config import MessageClass, NocConfig
+from repro.noc.packet import Packet
+from repro.noc.topology import Link, Topology
+from repro.sim.engine import Simulator
+from repro.sim.resource import Channel
+
+DeliveryCallback = Callable[[Packet], None]
+
+
+class NocFabric:
+    """Routes packets over a :class:`Topology` with per-link contention."""
+
+    #: Cycles charged for a message whose source and destination agents share
+    #: a router (e.g. a core talking to its own tile's LLC slice).
+    LOCAL_DELIVERY_CYCLES = 1
+
+    def __init__(self, sim: Simulator, topology: Topology, noc_config: NocConfig) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.config = noc_config
+        self.link_bytes = noc_config.link_bytes
+        self._channels: Dict[Tuple[Hashable, Hashable], Channel] = {}
+        # Statistics
+        self.packets_sent = 0
+        self.packets_delivered = 0
+        self.payload_bytes_delivered = 0
+        self.wire_bytes_sent = 0
+        self.bytes_by_class: Dict[MessageClass, int] = {cls: 0 for cls in MessageClass}
+        self._bisection_keys = self._compute_bisection_keys()
+        self.bisection_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        payload_bytes: int,
+        msg_class: MessageClass,
+        callback: Optional[DeliveryCallback] = None,
+        payload: Any = None,
+    ) -> Packet:
+        """Inject a packet; ``callback(packet)`` fires at delivery time."""
+        packet = Packet(
+            src=src,
+            dst=dst,
+            payload_bytes=payload_bytes,
+            msg_class=msg_class,
+            payload=payload,
+            created_at=self.sim.now,
+        )
+        self.packets_sent += 1
+        wire = packet.wire_bytes(self.link_bytes)
+        self.wire_bytes_sent += wire
+        self.bytes_by_class[msg_class] += wire
+        if src == dst:
+            self.sim.schedule(self.LOCAL_DELIVERY_CYCLES, self._deliver, packet, callback)
+            return packet
+        links = list(self.topology.route(src, dst, msg_class, packet.packet_id))
+        if not links:
+            self.sim.schedule(self.LOCAL_DELIVERY_CYCLES, self._deliver, packet, callback)
+            return packet
+        self._hop(packet, links, 0, callback)
+        return packet
+
+    def zero_load_latency(self, src: Hashable, dst: Hashable, payload_bytes: int,
+                          msg_class: MessageClass = MessageClass.MEMORY_REQUEST) -> float:
+        """Latency of a packet on an otherwise idle NOC (no queuing)."""
+        if src == dst:
+            return float(self.LOCAL_DELIVERY_CYCLES)
+        links = self.topology.route(src, dst, msg_class)
+        if not links:
+            return float(self.LOCAL_DELIVERY_CYCLES)
+        head = sum(link.hop_cycles for link in links)
+        flits = Packet(src, dst, payload_bytes, msg_class).flits(self.link_bytes)
+        return head + (flits - 1)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def aggregate_wire_gbps(self, frequency_ghz: float, elapsed_cycles: Optional[float] = None) -> float:
+        """Total NOC bandwidth consumed (header + padding included), in GBps."""
+        elapsed = self.sim.now if elapsed_cycles is None else elapsed_cycles
+        if elapsed <= 0:
+            return 0.0
+        return self.wire_bytes_sent / elapsed * frequency_ghz
+
+    def bisection_gbps(self, frequency_ghz: float, elapsed_cycles: Optional[float] = None) -> float:
+        """Bandwidth crossing the mesh bisection, in GBps (0 for non-mesh topologies)."""
+        elapsed = self.sim.now if elapsed_cycles is None else elapsed_cycles
+        if elapsed <= 0:
+            return 0.0
+        return self.bisection_bytes / elapsed * frequency_ghz
+
+    def link_utilization(self) -> Dict[Tuple[Hashable, Hashable], float]:
+        """Utilization of every link that has carried at least one packet."""
+        return {key: channel.utilization() for key, channel in self._channels.items()}
+
+    def max_link_utilization(self) -> float:
+        """Utilization of the most loaded link (the NOC bottleneck)."""
+        if not self._channels:
+            return 0.0
+        return max(channel.utilization() for channel in self._channels.values())
+
+    def reset_stats(self) -> None:
+        """Zero all counters (used at the end of the warm-up phase)."""
+        self.packets_sent = 0
+        self.packets_delivered = 0
+        self.payload_bytes_delivered = 0
+        self.wire_bytes_sent = 0
+        self.bisection_bytes = 0
+        self.bytes_by_class = {cls: 0 for cls in MessageClass}
+        for channel in self._channels.values():
+            channel.reset_stats()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _channel(self, link: Link) -> Channel:
+        channel = self._channels.get(link.key)
+        if channel is None:
+            channel = Channel(self.sim, bytes_per_cycle=self.link_bytes,
+                              name="link %r->%r" % (link.src, link.dst))
+            self._channels[link.key] = channel
+        return channel
+
+    def _hop(self, packet: Packet, links: Sequence[Link], index: int,
+             callback: Optional[DeliveryCallback]) -> None:
+        if index >= len(links):
+            self._deliver(packet, callback)
+            return
+        link = links[index]
+        channel = self._channel(link)
+        flit_cycles = packet.flits(self.link_bytes)
+        grant = channel.acquire(flit_cycles)
+        channel.bytes_transferred += packet.wire_bytes(self.link_bytes)
+        if link.key in self._bisection_keys:
+            self.bisection_bytes += packet.wire_bytes(self.link_bytes)
+        arrival = grant + link.hop_cycles
+        if index == len(links) - 1:
+            arrival += flit_cycles - 1
+        self.sim.schedule(arrival - self.sim.now, self._hop, packet, links, index + 1, callback)
+
+    def _deliver(self, packet: Packet, callback: Optional[DeliveryCallback]) -> None:
+        packet.delivered_at = self.sim.now
+        self.packets_delivered += 1
+        self.payload_bytes_delivered += packet.payload_bytes
+        if callback is not None:
+            callback(packet)
+
+    def _compute_bisection_keys(self) -> set:
+        bisection = getattr(self.topology, "bisection_links", None)
+        if bisection is None:
+            return set()
+        return set(bisection())

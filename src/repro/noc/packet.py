@@ -1,0 +1,59 @@
+"""NOC packet representation."""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional
+
+from repro.config import MessageClass
+
+_packet_ids = itertools.count()
+
+#: Bytes of NOC header per packet (one 16-byte flit in the paper's NOC).
+HEADER_BYTES = 16
+
+
+@dataclass
+class Packet:
+    """One message travelling over the on-chip network.
+
+    ``payload_bytes`` is the application/protocol payload; the header flit is
+    accounted for separately when computing the flit count.
+    """
+
+    src: Hashable
+    dst: Hashable
+    payload_bytes: int
+    msg_class: MessageClass
+    payload: Any = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: float = 0.0
+    delivered_at: Optional[float] = None
+
+    def flits(self, link_bytes: int) -> int:
+        """Number of flits occupied on a link of ``link_bytes`` width."""
+        if self.payload_bytes < 0:
+            raise ValueError("packet payload cannot be negative")
+        return 1 + math.ceil(self.payload_bytes / link_bytes)
+
+    def wire_bytes(self, link_bytes: int) -> int:
+        """Total bytes occupied on the wire (header + padded payload)."""
+        return self.flits(link_bytes) * link_bytes
+
+    @property
+    def latency(self) -> Optional[float]:
+        """End-to-end NOC latency, available once delivered."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.created_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Packet(#%d %s->%s %dB %s)" % (
+            self.packet_id,
+            self.src,
+            self.dst,
+            self.payload_bytes,
+            self.msg_class.value,
+        )

@@ -1,0 +1,69 @@
+"""Abstract on-chip topology interface.
+
+A topology exposes a set of router nodes (hashable identifiers), a routing
+function that returns the ordered list of directed :class:`Link` objects a
+packet traverses, and the per-hop latency of each link.  The contention model
+(:class:`~repro.noc.fabric.NocFabric`) attaches a bandwidth-limited channel
+to every link returned here.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, Sequence, Tuple
+
+from repro.config import MessageClass
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link between two router nodes."""
+
+    src: Hashable
+    dst: Hashable
+    #: Head-of-packet traversal latency of this hop in cycles.
+    hop_cycles: int
+
+    @property
+    def key(self) -> Tuple[Hashable, Hashable]:
+        """Identity of the physical channel (used to index contention state)."""
+        return (self.src, self.dst)
+
+
+class Topology(abc.ABC):
+    """Interface implemented by :class:`MeshTopology` and :class:`NocOutTopology`."""
+
+    @abc.abstractmethod
+    def nodes(self) -> Iterable[Hashable]:
+        """All router nodes in the topology."""
+
+    @abc.abstractmethod
+    def route(
+        self, src: Hashable, dst: Hashable, msg_class: MessageClass, packet_id: int = 0
+    ) -> Sequence[Link]:
+        """Ordered links from ``src`` to ``dst`` for a packet of ``msg_class``."""
+
+    def hop_count(self, src: Hashable, dst: Hashable) -> int:
+        """Number of hops on the default route between two nodes."""
+        return len(self.route(src, dst, MessageClass.MEMORY_REQUEST))
+
+    def min_latency_cycles(self, src: Hashable, dst: Hashable) -> int:
+        """Zero-load head latency between two nodes."""
+        return sum(link.hop_cycles for link in self.route(src, dst, MessageClass.MEMORY_REQUEST))
+
+    def validate_node(self, node: Hashable) -> None:
+        """Raise :class:`TopologyError` if ``node`` is not part of the topology."""
+        if node not in set(self.nodes()):
+            raise TopologyError("node %r is not part of this topology" % (node,))
+
+
+def build_path_links(path: List[Hashable], hop_cycles: int) -> List[Link]:
+    """Convert a node path [a, b, c] into directed links [a->b, b->c]."""
+    if len(path) < 1:
+        raise TopologyError("a route must contain at least the source node")
+    links: List[Link] = []
+    for src, dst in zip(path, path[1:]):
+        links.append(Link(src=src, dst=dst, hop_cycles=hop_cycles))
+    return links

@@ -1,0 +1,9 @@
+"""Single-node (chip) model: tiles, the manycore SoC, core models and the
+remote-end traffic generator used by the paper's methodology (§5)."""
+
+from repro.node.tile import Tile
+from repro.node.soc import ManycoreSoc
+from repro.node.core_model import CoreModel
+from repro.node.traffic import RemoteEndEmulator
+
+__all__ = ["Tile", "ManycoreSoc", "CoreModel", "RemoteEndEmulator"]

@@ -1,0 +1,36 @@
+"""One tile of the manycore chip: a core, its L1 and its LLC slice."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from repro.coherence.caches import L1Cache, TileCacheComplex
+
+
+@dataclass
+class Tile:
+    """Static description of one core tile.
+
+    The tile's cache complex is the coherence entity that represents the
+    core's L1 (and, for the per-tile and split NI designs, the back-side NI
+    cache the design assembly attaches later).
+    """
+
+    tile_id: int
+    node: Hashable
+    complex: TileCacheComplex
+    #: Index of the LLC slice collocated with this tile (mesh only; None on NOC-Out).
+    llc_slice: Optional[int] = None
+
+    @classmethod
+    def create(cls, tile_id: int, node: Hashable, l1_latency: int,
+               llc_slice: Optional[int] = None) -> "Tile":
+        """Build a tile with a fresh L1-only cache complex."""
+        l1 = L1Cache(tile_id, access_latency=l1_latency)
+        complex_ = TileCacheComplex(entity_id=("tile", tile_id), node=node, l1=l1)
+        return cls(tile_id=tile_id, node=node, complex=complex_, llc_slice=llc_slice)
+
+    @property
+    def l1(self) -> L1Cache:
+        return self.complex.l1

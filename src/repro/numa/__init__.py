@@ -1,0 +1,5 @@
+"""The idealized hardware-NUMA baseline (load/store interface to remote memory)."""
+
+from repro.numa.machine import NumaMachine
+
+__all__ = ["NumaMachine"]

@@ -1,0 +1,17 @@
+"""Queue-pair (WQ/CQ) communication layer between cores and NIs (§2.2)."""
+
+from repro.qp.entries import RemoteOp, WorkQueueEntry, CompletionQueueEntry, WQ_ENTRY_BYTES, CQ_ENTRY_BYTES
+from repro.qp.queues import WorkQueue, CompletionQueue
+from repro.qp.manager import QueuePair, QPManager
+
+__all__ = [
+    "RemoteOp",
+    "WorkQueueEntry",
+    "CompletionQueueEntry",
+    "WQ_ENTRY_BYTES",
+    "CQ_ENTRY_BYTES",
+    "WorkQueue",
+    "CompletionQueue",
+    "QueuePair",
+    "QPManager",
+]

@@ -1,0 +1,69 @@
+"""Work-queue and completion-queue entry formats.
+
+The entry layout follows soNUMA: a WQ entry encodes a one-sided remote
+operation (read or write) with its context id, destination node, remote
+offset, local buffer address and length; a CQ entry signals the completion
+of the WQ entry at a given index.  Entries are 32 bytes, so two entries share
+one 64-byte cache block — which is exactly what makes the edge design's QP
+blocks ping-pong between the core and the NI when requests are issued back
+to back (§6.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import QueueError
+
+#: Size of one work-queue entry on the wire / in memory.
+WQ_ENTRY_BYTES = 32
+#: Size of one completion-queue entry.
+CQ_ENTRY_BYTES = 32
+
+
+class RemoteOp(enum.Enum):
+    """One-sided remote operations supported by the RMC."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class WorkQueueEntry:
+    """A request descriptor written by the application into its WQ."""
+
+    op: RemoteOp
+    ctx_id: int
+    dst_node: int
+    remote_offset: int
+    local_buffer: int
+    length: int
+    #: Index in the WQ ring, filled in by the queue on post.
+    wq_index: Optional[int] = None
+    #: Simulation time at which the application created the entry.
+    posted_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise QueueError("WQ entry length must be positive")
+        if self.remote_offset < 0 or self.local_buffer < 0:
+            raise QueueError("WQ entry addresses cannot be negative")
+        if self.dst_node < 0:
+            raise QueueError("destination node id cannot be negative")
+
+
+@dataclass
+class CompletionQueueEntry:
+    """A completion notification written by the NI into the CQ."""
+
+    wq_index: int
+    success: bool = True
+    length: int = 0
+    #: Simulation time at which the NI wrote the completion.
+    completed_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.wq_index < 0:
+            raise QueueError("CQ entry must reference a valid WQ index")

@@ -1,0 +1,99 @@
+"""Queue-pair allocation and registration.
+
+A :class:`QueuePair` bundles one work queue and one completion queue for one
+application thread (one per core in the paper's microbenchmarks).  The
+:class:`QPManager` hands out non-overlapping, cache-block-aligned memory
+ranges for the queues so the coherence model sees distinct blocks per core,
+and records which NI (edge NI, per-tile NI or split frontend) services each
+queue pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional
+
+from repro.config import CACHE_BLOCK_BYTES
+from repro.errors import QueueError
+from repro.qp.queues import CompletionQueue, WorkQueue
+
+
+@dataclass
+class QueuePair:
+    """One WQ/CQ pair owned by a core and registered with an NI."""
+
+    qp_id: int
+    owner_core: int
+    wq: WorkQueue
+    cq: CompletionQueue
+    #: Identifier of the NI frontend servicing this queue pair.
+    servicing_ni: Optional[Hashable] = None
+
+    def qp_blocks(self):
+        """All cache blocks backing either queue (for coherence pre-warming)."""
+        blocks = set()
+        for queue in (self.wq, self.cq):
+            for index in range(queue.capacity):
+                blocks.add(queue.entry_block_address(index))
+        return sorted(blocks)
+
+
+class QPManager:
+    """Allocates queue pairs in a dedicated, block-aligned address range."""
+
+    def __init__(self, base_addr: int = 0x1000_0000, wq_entries: int = 128, cq_entries: int = 128) -> None:
+        if base_addr % CACHE_BLOCK_BYTES != 0:
+            raise QueueError("QP region base must be cache-block aligned")
+        self.base_addr = base_addr
+        self.wq_entries = wq_entries
+        self.cq_entries = cq_entries
+        self._next_addr = base_addr
+        self._pairs: Dict[int, QueuePair] = {}
+        self._by_core: Dict[int, QueuePair] = {}
+        self._next_id = 0
+
+    def create(self, owner_core: int, servicing_ni: Optional[Hashable] = None) -> QueuePair:
+        """Allocate a queue pair for ``owner_core``."""
+        if owner_core in self._by_core:
+            raise QueueError("core %d already owns a queue pair" % owner_core)
+        wq_base = self._allocate(self.wq_entries * 32)
+        cq_base = self._allocate(self.cq_entries * 32)
+        pair = QueuePair(
+            qp_id=self._next_id,
+            owner_core=owner_core,
+            wq=WorkQueue(self.wq_entries, wq_base),
+            cq=CompletionQueue(self.cq_entries, cq_base),
+            servicing_ni=servicing_ni,
+        )
+        self._pairs[pair.qp_id] = pair
+        self._by_core[owner_core] = pair
+        self._next_id += 1
+        return pair
+
+    def _allocate(self, nbytes: int) -> int:
+        aligned = ((nbytes + CACHE_BLOCK_BYTES - 1) // CACHE_BLOCK_BYTES) * CACHE_BLOCK_BYTES
+        addr = self._next_addr
+        self._next_addr += aligned
+        return addr
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, qp_id: int) -> QueuePair:
+        try:
+            return self._pairs[qp_id]
+        except KeyError:
+            raise QueueError("unknown queue pair %d" % qp_id) from None
+
+    def for_core(self, core_id: int) -> QueuePair:
+        try:
+            return self._by_core[core_id]
+        except KeyError:
+            raise QueueError("core %d has no queue pair" % core_id) from None
+
+    def all_pairs(self):
+        """All queue pairs, ordered by id."""
+        return [self._pairs[qp_id] for qp_id in sorted(self._pairs)]
+
+    def __len__(self) -> int:
+        return len(self._pairs)

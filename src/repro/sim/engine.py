@@ -1,0 +1,225 @@
+"""A minimal, fast discrete-event simulation kernel.
+
+The kernel keeps a binary heap of :class:`Event` objects ordered by
+``(time, sequence)``.  Components schedule callbacks at absolute or relative
+times; the simulator executes them in order and advances the clock.  Time is
+measured in core clock cycles (integers or floats are both accepted; the
+kernel never rounds).
+
+Two styles of modelling are supported:
+
+* **callback style** — ``sim.schedule(delay, fn, *args)``; used by most of
+  the NOC, coherence and NI models because it has the lowest overhead, and
+* **process style** — generator-based coroutines wrapped in
+  :class:`Process`, which ``yield`` delays; used by workload drivers where
+  sequential code is clearer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are comparable by ``(time, seq)`` so that simultaneous events fire
+    in scheduling order, which keeps runs deterministic.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (it stays in the heap but is skipped)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return "Event(t=%s, seq=%d, %s, %s)" % (self.time, self.seq, self.callback, state)
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(10, hello)          # relative delay
+        sim.run()                        # run to completion
+        sim.run(until=100_000)           # or bounded
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._events_executed = 0
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Clock and queue introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (useful for performance reporting)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError("cannot schedule an event %.3f cycles in the past" % delay)
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule an event at t=%.3f, current time is %.3f" % (time, self._now)
+            )
+        event = Event(time, next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_executed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
+
+        Returns the simulation time at which execution stopped.
+        """
+        self._stop_requested = False
+        executed = 0
+        while self._queue and not self._stop_requested:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self._now = until
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            heapq.heappop(self._queue)
+            self._now = head.time
+            self._events_executed += 1
+            executed += 1
+            head.callback(*head.args)
+        if until is not None and not self._queue and self._now < until:
+            # The model went idle before the horizon; advance the clock so
+            # rate computations over [0, until] stay meaningful.
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Process (coroutine) support
+    # ------------------------------------------------------------------
+    def process(self, generator: Generator[float, float, Any]) -> "Process":
+        """Wrap a generator as a :class:`Process` and start it immediately."""
+        proc = Process(self, generator)
+        proc.start()
+        return proc
+
+
+class Process:
+    """A generator-based simulation process.
+
+    The wrapped generator yields delays (in cycles); the process resumes after
+    each delay with the simulation time at resumption.  When the generator
+    returns, :attr:`finished` becomes True and :attr:`result` holds the return
+    value.  Completion callbacks can be registered with :meth:`on_complete`.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator[float, float, Any]) -> None:
+        self._sim = sim
+        self._generator = generator
+        self._started = False
+        self.finished = False
+        self.result: Any = None
+        self._completion_callbacks: List[Callable[["Process"], None]] = []
+
+    def start(self) -> None:
+        """Schedule the first step of the process at the current time."""
+        self._sim.schedule(0, self._advance, None)
+
+    def on_complete(self, callback: Callable[["Process"], None]) -> None:
+        """Register a callback invoked when the process finishes."""
+        if self.finished:
+            callback(self)
+        else:
+            self._completion_callbacks.append(callback)
+
+    def _advance(self, value: Any) -> None:
+        try:
+            if not self._started:
+                self._started = True
+                delay = next(self._generator)
+            else:
+                delay = self._generator.send(value if value is not None else self._sim.now)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            for callback in self._completion_callbacks:
+                callback(self)
+            return
+        if delay is None:
+            delay = 0
+        if delay < 0:
+            raise SimulationError("a process yielded a negative delay: %r" % delay)
+        self._sim.schedule(delay, self._advance, None)
+
+
+def drain(sim: Simulator, processes: Iterable[Process], until: Optional[float] = None) -> None:
+    """Run the simulator until every process in ``processes`` has finished."""
+    processes = list(processes)
+    while not all(p.finished for p in processes):
+        if not sim.step():
+            unfinished = sum(1 for p in processes if not p.finished)
+            raise SimulationError(
+                "simulation went idle with %d unfinished process(es)" % unfinished
+            )
+        if until is not None and sim.now > until:
+            raise SimulationError("processes did not finish before t=%.1f" % until)

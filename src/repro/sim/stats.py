@@ -1,0 +1,217 @@
+"""Statistics collection for the simulator.
+
+Implements the measurement methodology of the paper's §5: metrics are
+monitored in fixed-size cycle windows and a run is considered converged when
+the metric changes by less than a tolerance (1 % in the paper) between
+consecutive windows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+
+class StatAccumulator:
+    """Streaming mean / variance / extremes for scalar samples."""
+
+    __slots__ = ("name", "count", "_mean", "_m2", "minimum", "maximum", "total")
+
+    def __init__(self, name: str = "stat") -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one sample (Welford's online algorithm)."""
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (0.0 if empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples."""
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation of the samples."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "StatAccumulator") -> None:
+        """Fold another accumulator's samples into this one."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            self.total = other.total
+            return
+        combined = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / combined
+        self._mean = (self._mean * self.count + other._mean * other.count) / combined
+        self.count = combined
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Summary dictionary (handy for experiment reports)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "total": self.total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "StatAccumulator(%s, n=%d, mean=%.2f)" % (self.name, self.count, self.mean)
+
+
+class LatencyRecorder(StatAccumulator):
+    """A :class:`StatAccumulator` specialized for request latencies.
+
+    Also keeps the raw samples (bounded) so percentiles can be computed.
+    """
+
+    __slots__ = ("_samples", "_max_samples")
+
+    def __init__(self, name: str = "latency", max_samples: int = 100_000) -> None:
+        super().__init__(name)
+        self._samples: List[float] = []
+        self._max_samples = max_samples
+
+    def add(self, value: float) -> None:
+        super().add(value)
+        if len(self._samples) < self._max_samples:
+            self._samples.append(value)
+
+    @property
+    def samples(self) -> List[float]:
+        """The recorded samples (bounded by ``max_samples``)."""
+        return list(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Return the ``p``-th percentile (0-100) of recorded samples."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if p <= 0:
+            return ordered[0]
+        if p >= 100:
+            return ordered[-1]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+class ThroughputMeter:
+    """Counts bytes (or events) delivered and converts them to rates."""
+
+    __slots__ = ("name", "bytes_delivered", "events", "_start_time")
+
+    def __init__(self, name: str = "throughput", start_time: float = 0.0) -> None:
+        self.name = name
+        self.bytes_delivered = 0
+        self.events = 0
+        self._start_time = start_time
+
+    def record(self, nbytes: int) -> None:
+        """Record a delivery of ``nbytes``."""
+        self.bytes_delivered += nbytes
+        self.events += 1
+
+    def reset(self, now: float) -> None:
+        """Zero the counters and restart the measurement window at ``now``."""
+        self.bytes_delivered = 0
+        self.events = 0
+        self._start_time = now
+
+    def bytes_per_cycle(self, now: float) -> float:
+        """Average delivery rate since the window start."""
+        elapsed = now - self._start_time
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes_delivered / elapsed
+
+    def gbps(self, now: float, frequency_ghz: float) -> float:
+        """Average delivery rate in GBps given the core clock frequency."""
+        return self.bytes_per_cycle(now) * frequency_ghz
+
+
+class WindowedMonitor:
+    """Implements the paper's convergence criterion (§5).
+
+    The metric of interest is sampled once per window of ``window_cycles``;
+    the run is converged when the relative change between two consecutive
+    windows drops below ``tolerance`` (after at least ``min_windows``
+    windows).
+    """
+
+    def __init__(
+        self,
+        window_cycles: float = 500_000,
+        tolerance: float = 0.01,
+        min_windows: int = 2,
+        max_windows: int = 64,
+    ) -> None:
+        self.window_cycles = window_cycles
+        self.tolerance = tolerance
+        self.min_windows = min_windows
+        self.max_windows = max_windows
+        self.window_values: List[float] = []
+
+    def record_window(self, value: float) -> None:
+        """Record the metric value measured over the window that just ended."""
+        self.window_values.append(value)
+
+    @property
+    def windows_seen(self) -> int:
+        return len(self.window_values)
+
+    @property
+    def converged(self) -> bool:
+        """True once consecutive windows agree to within the tolerance."""
+        if len(self.window_values) < self.min_windows:
+            return False
+        if len(self.window_values) >= self.max_windows:
+            return True
+        prev, last = self.window_values[-2], self.window_values[-1]
+        if prev == 0 and last == 0:
+            return True
+        denom = max(abs(prev), abs(last), 1e-12)
+        return abs(last - prev) / denom < self.tolerance
+
+    @property
+    def value(self) -> Optional[float]:
+        """The converged metric value (mean of the last two windows)."""
+        if not self.window_values:
+            return None
+        if len(self.window_values) == 1:
+            return self.window_values[0]
+        return 0.5 * (self.window_values[-1] + self.window_values[-2])

@@ -1,0 +1,23 @@
+"""soNUMA protocol layer: wire format, contexts and request unrolling (§4)."""
+
+from repro.sonuma.wire import (
+    REQUEST_HEADER_BYTES,
+    RESPONSE_HEADER_BYTES,
+    RemoteRequest,
+    RemoteResponse,
+    TransferStatus,
+)
+from repro.sonuma.context import RemoteContext, ContextRegistry
+from repro.sonuma.unroll import unroll_blocks, block_count
+
+__all__ = [
+    "REQUEST_HEADER_BYTES",
+    "RESPONSE_HEADER_BYTES",
+    "RemoteRequest",
+    "RemoteResponse",
+    "TransferStatus",
+    "RemoteContext",
+    "ContextRegistry",
+    "unroll_blocks",
+    "block_count",
+]

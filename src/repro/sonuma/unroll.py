@@ -1,0 +1,50 @@
+"""Request unrolling.
+
+A WQ entry describes a transfer of up to tens of kilobytes; the RGP unrolls
+it into cache-block-sized request packets (§4, §4.1).  Where the unroll
+happens — at the source tile (per-tile design) or at the chip edge (edge and
+split designs) — is the crux of the bandwidth results in §6.2.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import CACHE_BLOCK_BYTES
+from repro.errors import ProtocolError
+from repro.qp.entries import RemoteOp, WorkQueueEntry
+from repro.sonuma.wire import RemoteRequest
+
+
+def block_count(length: int, block_bytes: int = CACHE_BLOCK_BYTES) -> int:
+    """Number of cache-block requests needed for a transfer of ``length`` bytes."""
+    if length <= 0:
+        raise ProtocolError("transfer length must be positive")
+    return (length + block_bytes - 1) // block_bytes
+
+
+def unroll_blocks(
+    entry: WorkQueueEntry,
+    src_node: int,
+    transfer_id: int,
+    block_bytes: int = CACHE_BLOCK_BYTES,
+) -> List[RemoteRequest]:
+    """Unroll a WQ entry into its per-block :class:`RemoteRequest` packets."""
+    if not isinstance(entry.op, RemoteOp):
+        raise ProtocolError("WQ entry has an invalid operation %r" % (entry.op,))
+    blocks = block_count(entry.length, block_bytes)
+    requests: List[RemoteRequest] = []
+    for index in range(blocks):
+        requests.append(
+            RemoteRequest(
+                op=entry.op,
+                src_node=src_node,
+                dst_node=entry.dst_node,
+                ctx_id=entry.ctx_id,
+                offset=entry.remote_offset + index * block_bytes,
+                transfer_id=transfer_id,
+                block_index=index,
+                total_blocks=blocks,
+            )
+        )
+    return requests

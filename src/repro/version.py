@@ -1,0 +1,14 @@
+"""Version information for the repro package."""
+
+__version__ = "1.0.0"
+
+#: Paper reproduced by this library.
+PAPER_TITLE = "Manycore Network Interfaces for In-Memory Rack-Scale Computing"
+PAPER_VENUE = "ISCA 2015"
+PAPER_AUTHORS = (
+    "Alexandros Daglis",
+    "Stanko Novakovic",
+    "Edouard Bugnion",
+    "Babak Falsafi",
+    "Boris Grot",
+)

@@ -1,0 +1,27 @@
+"""Workload drivers: the paper's microbenchmarks plus application-level workloads."""
+
+from repro.workloads.microbench import (
+    LatencyResult,
+    BandwidthResult,
+    RemoteReadLatencyBenchmark,
+    RemoteReadBandwidthBenchmark,
+)
+from repro.workloads.kvstore import KeyValueStoreWorkload, KVStoreResult, ZipfKeySampler
+from repro.workloads.graphproc import (
+    GraphTraversalWorkload,
+    GraphResult,
+    SyntheticPowerLawGraph,
+)
+
+__all__ = [
+    "LatencyResult",
+    "BandwidthResult",
+    "RemoteReadLatencyBenchmark",
+    "RemoteReadBandwidthBenchmark",
+    "KeyValueStoreWorkload",
+    "KVStoreResult",
+    "ZipfKeySampler",
+    "GraphTraversalWorkload",
+    "GraphResult",
+    "SyntheticPowerLawGraph",
+]

@@ -1,0 +1,188 @@
+"""A distributed graph-traversal workload (§1, §2.1).
+
+Graph analytics is the paper's second motivating application class: graphs
+are hard to partition, so once the dataset exceeds one node's memory a large
+fraction of every traversal step touches adjacency lists stored on other
+nodes.  Those accesses are coarse-grained (an adjacency list of a few
+hundred neighbours spans kilobytes), which is exactly the regime where the
+RGP's hardware unrolling and the NI backend placement matter.
+
+The workload builds a synthetic power-law graph, hash-partitions its
+vertices across the rack, and runs a bounded breadth-first traversal from
+the simulated node: visiting a remote vertex issues a one-sided remote read
+of that vertex's adjacency list (one WQ entry, unrolled into cache-block
+requests by the RGP).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.config import NIDesign, SystemConfig
+from repro.errors import WorkloadError
+from repro.node.core_model import CoreModel
+from repro.node.soc import ManycoreSoc
+from repro.node.traffic import RemoteEndEmulator
+from repro.qp.entries import RemoteOp, WorkQueueEntry
+
+GRAPH_CTX_ID = 0
+PARTITION_BYTES = 64 * 1024 * 1024
+LOCAL_BUFFER_BASE = 0xB000_0000
+#: Bytes per encoded edge (destination vertex id).
+EDGE_BYTES = 8
+
+
+@dataclass
+class GraphResult:
+    """Outcome of one graph-traversal run."""
+
+    design: NIDesign
+    vertices_visited: int
+    remote_vertex_fetches: int
+    edges_traversed: int
+    bytes_fetched: int
+    elapsed_cycles: float
+    frequency_ghz: float
+
+    @property
+    def edges_per_microsecond(self) -> float:
+        if self.elapsed_cycles <= 0:
+            return 0.0
+        return self.edges_traversed / self.elapsed_cycles * self.frequency_ghz * 1e3
+
+    @property
+    def fetch_bandwidth_gbps(self) -> float:
+        if self.elapsed_cycles <= 0:
+            return 0.0
+        return self.bytes_fetched / self.elapsed_cycles * self.frequency_ghz
+
+
+class SyntheticPowerLawGraph:
+    """A small deterministic power-law graph (preferential attachment)."""
+
+    def __init__(self, vertices: int = 4096, edges_per_vertex: int = 16, seed: int = 3) -> None:
+        if vertices <= 2 or edges_per_vertex <= 0:
+            raise WorkloadError("graph needs at least 3 vertices and 1 edge per vertex")
+        self.vertices = vertices
+        self.edges_per_vertex = edges_per_vertex
+        rng = random.Random(seed)
+        self.adjacency: Dict[int, List[int]] = {0: [1], 1: [0]}
+        targets: List[int] = [0, 1]
+        for vertex in range(2, vertices):
+            neighbours = set()
+            for _ in range(min(edges_per_vertex, len(targets))):
+                neighbours.add(targets[rng.randrange(len(targets))])
+            self.adjacency[vertex] = sorted(neighbours)
+            for neighbour in neighbours:
+                targets.append(neighbour)
+            targets.append(vertex)
+            for neighbour in neighbours:
+                self.adjacency.setdefault(neighbour, []).append(vertex)
+
+    def degree(self, vertex: int) -> int:
+        return len(self.adjacency.get(vertex, ()))
+
+    def adjacency_bytes(self, vertex: int) -> int:
+        """Size of the vertex's adjacency list in memory."""
+        return max(EDGE_BYTES * self.degree(vertex), EDGE_BYTES)
+
+
+class GraphTraversalWorkload:
+    """Bounded BFS over a hash-partitioned synthetic graph."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        graph: Optional[SyntheticPowerLawGraph] = None,
+        rack_nodes: Optional[int] = None,
+        active_cores: int = 4,
+        max_vertices: int = 200,
+        seed: int = 5,
+    ) -> None:
+        self.config = config if config is not None else SystemConfig.paper_defaults()
+        self.graph = graph if graph is not None else SyntheticPowerLawGraph()
+        self.rack_nodes = rack_nodes if rack_nodes is not None else self.config.rack.nodes
+        if active_cores <= 0 or active_cores > self.config.cores.count:
+            raise WorkloadError("active core count must be in [1, %d]" % self.config.cores.count)
+        if max_vertices <= 0:
+            raise WorkloadError("must visit at least one vertex")
+        self.active_cores = active_cores
+        self.max_vertices = max_vertices
+        self._rng = random.Random(seed)
+
+    def owner_node(self, vertex: int) -> int:
+        """Hash partitioning of vertices across the rack."""
+        return (vertex * 2654435761) % self.rack_nodes
+
+    def vertex_offset(self, vertex: int) -> int:
+        slots = PARTITION_BYTES // 4096
+        return (vertex % slots) * 4096
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _plan_traversal(self) -> List[int]:
+        """BFS order from vertex 0, bounded to ``max_vertices`` vertices."""
+        frontier = [0]
+        visited = {0}
+        order: List[int] = []
+        while frontier and len(order) < self.max_vertices:
+            vertex = frontier.pop(0)
+            order.append(vertex)
+            for neighbour in self.graph.adjacency.get(vertex, ()):
+                if neighbour not in visited:
+                    visited.add(neighbour)
+                    frontier.append(neighbour)
+        return order
+
+    def _entries_for_core(self, core_id: int, vertices: List[int], stats: dict) -> Iterator[WorkQueueEntry]:
+        for index, vertex in enumerate(vertices):
+            stats["visited"] += 1
+            stats["edges"] += self.graph.degree(vertex)
+            owner = self.owner_node(vertex)
+            if owner == 0:
+                continue  # local partition, no remote fetch needed
+            nbytes = self.graph.adjacency_bytes(vertex)
+            stats["remote"] += 1
+            stats["bytes"] += nbytes
+            yield WorkQueueEntry(
+                op=RemoteOp.READ,
+                ctx_id=GRAPH_CTX_ID,
+                dst_node=owner,
+                remote_offset=self.vertex_offset(vertex),
+                local_buffer=LOCAL_BUFFER_BASE + core_id * (1 << 20) + index * 4096,
+                length=nbytes,
+            )
+
+    def run(self) -> GraphResult:
+        """Traverse the graph and report edge throughput and fetch bandwidth."""
+        soc = ManycoreSoc(self.config)
+        soc.register_context(GRAPH_CTX_ID, PARTITION_BYTES)
+        RemoteEndEmulator(
+            soc,
+            hops=2,
+            rate_match_incoming=True,
+            incoming_ctx_id=GRAPH_CTX_ID,
+            incoming_region_bytes=PARTITION_BYTES,
+        )
+        order = self._plan_traversal()
+        shards = [order[i::self.active_cores] for i in range(self.active_cores)]
+        stats = {"visited": 0, "remote": 0, "edges": 0, "bytes": 0}
+        for core_id, shard in enumerate(shards):
+            if not shard:
+                continue
+            qp = soc.create_queue_pair(core_id)
+            core = CoreModel(core_id, soc, qp)
+            core.start(self._entries_for_core(core_id, shard, stats), max_outstanding=8)
+        soc.run()
+        return GraphResult(
+            design=self.config.ni.design,
+            vertices_visited=stats["visited"],
+            remote_vertex_fetches=stats["remote"],
+            edges_traversed=stats["edges"],
+            bytes_fetched=stats["bytes"],
+            elapsed_cycles=soc.sim.now,
+            frequency_ghz=self.config.cores.frequency_ghz,
+        )

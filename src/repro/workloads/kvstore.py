@@ -1,0 +1,198 @@
+"""A partitioned in-memory key-value store workload (§1, §2.1).
+
+The paper motivates rack-scale remote memory with distributed key-value
+stores whose objects are a few hundred bytes (Facebook's Memcached pools
+average ~500 B), so every GET whose key lives on another node becomes a
+fine-grained one-sided remote read.  This workload models exactly that:
+
+* the key space is hash-partitioned across the rack's nodes;
+* keys are drawn from a Zipf-like popularity distribution (hot keys exist,
+  but they are spread over partitions by the hash);
+* a GET for a remote key issues one remote read of the object's size from
+  the owning node's registered context; local keys are served from local
+  memory and only contribute to the local-access counter.
+
+The driver runs on the single simulated node (the paper's methodology) and
+reports GET throughput and latency percentiles per NI design.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.config import NIDesign, SystemConfig
+from repro.errors import WorkloadError
+from repro.node.core_model import CoreModel
+from repro.node.soc import ManycoreSoc
+from repro.node.traffic import RemoteEndEmulator
+from repro.qp.entries import RemoteOp, WorkQueueEntry
+
+#: Context exporting each node's key-value partition.
+KV_CTX_ID = 0
+#: Size of the exported partition (large enough to always miss on-chip caches).
+PARTITION_BYTES = 64 * 1024 * 1024
+LOCAL_BUFFER_BASE = 0xA000_0000
+
+
+@dataclass
+class KVStoreResult:
+    """Outcome of one key-value store run."""
+
+    design: NIDesign
+    value_bytes: int
+    gets_issued: int
+    remote_gets: int
+    local_gets: int
+    elapsed_cycles: float
+    mean_latency_cycles: float
+    p99_latency_cycles: float
+    frequency_ghz: float
+
+    @property
+    def remote_fraction(self) -> float:
+        if self.gets_issued == 0:
+            return 0.0
+        return self.remote_gets / self.gets_issued
+
+    @property
+    def throughput_mops(self) -> float:
+        """Completed remote GETs per microsecond... reported in MOPS."""
+        if self.elapsed_cycles <= 0:
+            return 0.0
+        ops_per_cycle = self.remote_gets / self.elapsed_cycles
+        return ops_per_cycle * self.frequency_ghz * 1e3
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return self.mean_latency_cycles / self.frequency_ghz
+
+
+class ZipfKeySampler:
+    """Deterministic Zipf-like key popularity."""
+
+    def __init__(self, keys: int, skew: float = 0.99, seed: int = 7) -> None:
+        if keys <= 0:
+            raise WorkloadError("key count must be positive")
+        if skew < 0:
+            raise WorkloadError("skew cannot be negative")
+        self.keys = keys
+        self.skew = skew
+        self._rng = random.Random(seed)
+        weights = [1.0 / ((rank + 1) ** skew) for rank in range(min(keys, 1024))]
+        total = sum(weights)
+        self._cdf: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cdf.append(acc)
+
+    def sample(self) -> int:
+        """Draw a key id; popular ranks map to the head of the key space."""
+        point = self._rng.random()
+        for rank, edge in enumerate(self._cdf):
+            if point <= edge:
+                # Spread each popularity rank over the key space deterministically.
+                return (rank * 2654435761) % self.keys
+        return self._rng.randrange(self.keys)
+
+
+class KeyValueStoreWorkload:
+    """Drives GET traffic from the cores of the simulated node."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        value_bytes: int = 512,
+        keys: int = 1 << 20,
+        rack_nodes: Optional[int] = None,
+        active_cores: int = 8,
+        gets_per_core: int = 20,
+        skew: float = 0.99,
+        seed: int = 11,
+    ) -> None:
+        self.config = config if config is not None else SystemConfig.paper_defaults()
+        if value_bytes <= 0:
+            raise WorkloadError("value size must be positive")
+        if active_cores <= 0 or active_cores > self.config.cores.count:
+            raise WorkloadError("active core count must be in [1, %d]" % self.config.cores.count)
+        if gets_per_core <= 0:
+            raise WorkloadError("need at least one GET per core")
+        self.value_bytes = value_bytes
+        self.keys = keys
+        self.rack_nodes = rack_nodes if rack_nodes is not None else self.config.rack.nodes
+        self.active_cores = active_cores
+        self.gets_per_core = gets_per_core
+        self.sampler = ZipfKeySampler(keys, skew=skew, seed=seed)
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Key partitioning
+    # ------------------------------------------------------------------
+    def owner_node(self, key: int) -> int:
+        """Hash-partition the key space across the rack."""
+        return (key * 1103515245 + 12345) % self.rack_nodes
+
+    def key_offset(self, key: int) -> int:
+        """Offset of the key's value inside its owner's partition context."""
+        slots = PARTITION_BYTES // max(self.value_bytes, 64)
+        return (key % slots) * max(self.value_bytes, 64)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _entries_for_core(self, core_id: int, stats: dict) -> Iterator[WorkQueueEntry]:
+        local_node = 0
+        for index in range(self.gets_per_core):
+            key = self.sampler.sample()
+            stats["gets"] += 1
+            owner = self.owner_node(key)
+            if owner == local_node:
+                stats["local"] += 1
+                continue
+            stats["remote"] += 1
+            yield WorkQueueEntry(
+                op=RemoteOp.READ,
+                ctx_id=KV_CTX_ID,
+                dst_node=owner,
+                remote_offset=self.key_offset(key),
+                local_buffer=LOCAL_BUFFER_BASE + core_id * (1 << 20) + index * self.value_bytes,
+                length=self.value_bytes,
+            )
+
+    def run(self) -> KVStoreResult:
+        """Run the GET mix to completion and report throughput/latency."""
+        soc = ManycoreSoc(self.config)
+        soc.register_context(KV_CTX_ID, PARTITION_BYTES)
+        RemoteEndEmulator(
+            soc,
+            hops=1,
+            rate_match_incoming=True,
+            incoming_ctx_id=KV_CTX_ID,
+            incoming_region_bytes=PARTITION_BYTES,
+        )
+        stats = {"gets": 0, "remote": 0, "local": 0}
+        cores: List[CoreModel] = []
+        for core_id in range(self.active_cores):
+            qp = soc.create_queue_pair(core_id)
+            core = CoreModel(core_id, soc, qp)
+            core.start(self._entries_for_core(core_id, stats), max_outstanding=8)
+            cores.append(core)
+        soc.run()
+        latencies: List[float] = []
+        for core in cores:
+            latencies.extend(core.latency.samples)
+        mean = sum(latencies) / len(latencies) if latencies else 0.0
+        p99 = sorted(latencies)[int(0.99 * (len(latencies) - 1))] if latencies else 0.0
+        return KVStoreResult(
+            design=self.config.ni.design,
+            value_bytes=self.value_bytes,
+            gets_issued=stats["gets"],
+            remote_gets=stats["remote"],
+            local_gets=stats["local"],
+            elapsed_cycles=soc.sim.now,
+            mean_latency_cycles=mean,
+            p99_latency_cycles=p99,
+            frequency_ghz=self.config.cores.frequency_ghz,
+        )

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import CoreConfig, NIDesign, SystemConfig
+
+
+def small_config(design: NIDesign = NIDesign.SPLIT, **overrides) -> SystemConfig:
+    """A 16-core (4x4) configuration that keeps integration tests fast.
+
+    All latency calibration constants are identical to the paper
+    configuration; only the chip size shrinks.
+    """
+    base = SystemConfig.paper_defaults()
+    config = base.replace(cores=dataclasses.replace(base.cores, count=16)).with_design(design)
+    if overrides:
+        config = config.replace(**overrides)
+    return config
+
+
+@pytest.fixture
+def paper_config() -> SystemConfig:
+    """The full 64-core Table-2 configuration."""
+    return SystemConfig.paper_defaults()
+
+
+@pytest.fixture
+def split_config() -> SystemConfig:
+    return small_config(NIDesign.SPLIT)
+
+
+@pytest.fixture
+def edge_config() -> SystemConfig:
+    return small_config(NIDesign.EDGE)
+
+
+@pytest.fixture
+def per_tile_config() -> SystemConfig:
+    return small_config(NIDesign.PER_TILE)

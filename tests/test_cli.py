@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_flag(self):
+        args = build_parser().parse_args(["--list"])
+        assert args.list is True
+
+    def test_experiment_names_collected(self):
+        args = build_parser().parse_args(["table1", "fig5"])
+        assert args.experiments == ["table1", "fig5"]
+
+
+class TestMain:
+    def test_list_prints_experiment_names(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "table1" in output and "fig7" in output
+
+    def test_run_named_analytical_experiments(self, capsys):
+        assert main(["table1", "table3"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output and "Table 3" in output
+
+    def test_fast_flag_runs_only_analytical_experiments(self, capsys):
+        assert main(["--fast"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 5" in output and "Figure 7" not in output
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "results.txt"
+        assert main(["table1", "--output", str(target)]) == 0
+        capsys.readouterr()
+        assert "Table 1" in target.read_text()
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import ExperimentError
+        with pytest.raises(ExperimentError):
+            main(["not-an-experiment"])

@@ -1,0 +1,159 @@
+"""Tests for the cache complex and the NI-cache owned-state optimization (§3.4)."""
+
+import pytest
+
+from repro.coherence.caches import L1Cache, NICache, TileCacheComplex
+from repro.coherence.states import CacheState
+from repro.errors import CoherenceError
+
+BLOCK = 0x1000
+
+
+def make_collocated_complex(owned_state: bool = True) -> TileCacheComplex:
+    """A per-tile/split style complex: L1 plus back-side NI cache."""
+    return TileCacheComplex(
+        entity_id=("tile", 0),
+        node=(0, 0),
+        l1=L1Cache(0, access_latency=3),
+        ni_cache=NICache("ni0", access_latency=2, owned_state_enabled=owned_state),
+    )
+
+
+class TestStates:
+    def test_state_properties(self):
+        assert CacheState.MODIFIED.readable and CacheState.MODIFIED.writable
+        assert CacheState.SHARED.readable and not CacheState.SHARED.writable
+        assert not CacheState.INVALID.readable
+        assert CacheState.OWNED.dirty and not CacheState.OWNED.writable
+        assert CacheState.EXCLUSIVE.writable and not CacheState.EXCLUSIVE.dirty
+
+
+class TestCacheArray:
+    def test_fill_and_drop(self):
+        l1 = L1Cache(0)
+        l1.fill(BLOCK, dirty=True)
+        assert l1.has_copy(BLOCK) and l1.is_dirty(BLOCK)
+        assert l1.drop(BLOCK) is True
+        assert not l1.has_copy(BLOCK)
+
+    def test_clean_clears_dirty_bit(self):
+        l1 = L1Cache(0)
+        l1.fill(BLOCK, dirty=True)
+        l1.clean(BLOCK)
+        assert l1.has_copy(BLOCK) and not l1.is_dirty(BLOCK)
+
+    def test_ni_cache_owned_marking_requires_presence(self):
+        ni = NICache("ni")
+        with pytest.raises(CoherenceError):
+            ni.mark_owned(BLOCK)
+
+
+class TestComplexConstruction:
+    def test_requires_at_least_one_cache(self):
+        with pytest.raises(CoherenceError):
+            TileCacheComplex(entity_id=0, node=(0, 0))
+
+    def test_edge_style_complex_has_only_ni_cache(self):
+        complex_ = TileCacheComplex(entity_id=("ni_edge", 0), node=(0, 0), ni_cache=NICache("ni"))
+        assert complex_.l1 is None
+        with pytest.raises(CoherenceError):
+            complex_.local_lookup("core", BLOCK, write=False)
+
+
+class TestInstallAndDirectoryActions:
+    def test_install_sets_external_state_and_copy_location(self):
+        complex_ = make_collocated_complex()
+        complex_.install(BLOCK, CacheState.MODIFIED, into="core")
+        assert complex_.state(BLOCK) is CacheState.MODIFIED
+        assert complex_.l1.has_copy(BLOCK)
+        assert not complex_.ni_cache.has_copy(BLOCK)
+        assert complex_.holds_dirty(BLOCK)
+
+    def test_invalidate_clears_everything(self):
+        complex_ = make_collocated_complex()
+        complex_.install(BLOCK, CacheState.MODIFIED, into="ni")
+        assert complex_.invalidate(BLOCK) is True
+        assert complex_.state(BLOCK) is CacheState.INVALID
+        assert not complex_.ni_cache.has_copy(BLOCK)
+
+    def test_downgrade_moves_to_shared_and_cleans(self):
+        complex_ = make_collocated_complex()
+        complex_.install(BLOCK, CacheState.MODIFIED, into="core")
+        complex_.downgrade(BLOCK)
+        assert complex_.state(BLOCK) is CacheState.SHARED
+        assert not complex_.holds_dirty(BLOCK)
+
+    def test_install_invalid_state_rejected(self):
+        complex_ = make_collocated_complex()
+        with pytest.raises(CoherenceError):
+            complex_.install(BLOCK, CacheState.INVALID, into="core")
+
+
+class TestLocalLookups:
+    def test_core_write_hit_in_l1(self):
+        complex_ = make_collocated_complex()
+        complex_.install(BLOCK, CacheState.MODIFIED, into="core")
+        lookup = complex_.local_lookup("core", BLOCK, write=True)
+        assert lookup.hit and lookup.source == "l1"
+        assert lookup.latency == 3
+
+    def test_miss_when_external_state_is_invalid(self):
+        complex_ = make_collocated_complex()
+        lookup = complex_.local_lookup("core", BLOCK, write=True)
+        assert not lookup.hit
+
+    def test_write_miss_when_only_shared(self):
+        complex_ = make_collocated_complex()
+        complex_.install(BLOCK, CacheState.SHARED, into="core")
+        lookup = complex_.local_lookup("core", BLOCK, write=True)
+        assert not lookup.hit
+
+    def test_ni_read_of_dirty_l1_block_transfers_locally(self):
+        """The WQ-read path of the per-tile/split designs (5-cycle transfer)."""
+        complex_ = make_collocated_complex()
+        complex_.install(BLOCK, CacheState.MODIFIED, into="core")
+        lookup = complex_.local_lookup("ni", BLOCK, write=False)
+        assert lookup.hit and lookup.source == "l1"
+        assert lookup.latency == 2 + TileCacheComplex.LOCAL_TRANSFER_CYCLES
+        # The external state does not change; the core can still write locally.
+        assert complex_.state(BLOCK) is CacheState.MODIFIED
+        followup = complex_.local_lookup("core", BLOCK, write=True)
+        assert followup.hit
+
+    def test_core_read_of_dirty_cq_block_uses_owned_fast_path(self):
+        """The CQ-poll path with the owned-state optimization enabled."""
+        complex_ = make_collocated_complex(owned_state=True)
+        complex_.install(BLOCK, CacheState.MODIFIED, into="ni")
+        lookup = complex_.local_lookup("core", BLOCK, write=False)
+        assert lookup.hit and not lookup.requires_writeback
+        assert complex_.ni_cache.is_owned(BLOCK)
+        assert complex_.ni_cache.owned_fast_forwards == 1
+        # The NI cache keeps the dirty data for an eventual write-back.
+        assert complex_.ni_cache.is_dirty(BLOCK)
+
+    def test_core_read_of_dirty_cq_block_without_owned_state_needs_writeback(self):
+        complex_ = make_collocated_complex(owned_state=False)
+        complex_.install(BLOCK, CacheState.MODIFIED, into="ni")
+        lookup = complex_.local_lookup("core", BLOCK, write=False)
+        assert lookup.hit and lookup.requires_writeback
+        assert complex_.ni_cache.writebacks == 1
+
+    def test_ni_write_after_owned_forward_hits_locally(self):
+        """The next CQ write finds the block still writable inside the complex."""
+        complex_ = make_collocated_complex()
+        complex_.install(BLOCK, CacheState.MODIFIED, into="ni")
+        complex_.local_lookup("core", BLOCK, write=False)
+        lookup = complex_.local_lookup("ni", BLOCK, write=True)
+        assert lookup.hit
+        assert complex_.ni_cache.is_dirty(BLOCK)
+
+    def test_local_transfer_counter(self):
+        complex_ = make_collocated_complex()
+        complex_.install(BLOCK, CacheState.MODIFIED, into="core")
+        complex_.local_lookup("ni", BLOCK, write=False)
+        assert complex_.local_transfers == 1
+
+    def test_unknown_requester_rejected(self):
+        complex_ = make_collocated_complex()
+        with pytest.raises(CoherenceError):
+            complex_.local_lookup("dma", BLOCK, write=False)

@@ -1,0 +1,121 @@
+"""Tests for the experiment harness (tables/figures regeneration)."""
+
+import pytest
+
+from conftest import small_config
+
+from repro.config import NIDesign, RoutingAlgorithm
+from repro.errors import ExperimentError
+from repro.experiments import (
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_owned_state_ablation,
+    run_routing_ablation,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.runner import format_results, run_experiments
+
+
+class TestResultContainer:
+    def test_add_row_and_format(self):
+        result = ExperimentResult("X", "desc", headers=["a", "b"])
+        result.add_row(1, 2.0)
+        result.add_note("note text")
+        text = result.format()
+        assert "== X ==" in text and "note text" in text
+
+    def test_column_extraction(self):
+        result = ExperimentResult("X", "desc", headers=["a", "b"])
+        result.add_row(1, 2)
+        result.add_row(3, 4)
+        assert result.column("b") == [2, 4]
+        with pytest.raises(ValueError):
+            result.column("missing")
+
+
+class TestAnalyticalExperiments:
+    def test_table1_totals(self):
+        result = run_table1()
+        text = result.format()
+        assert "710" in text and "395" in text and "79.7%" in text
+
+    def test_table2_lists_parameters(self):
+        text = run_table2().format()
+        assert "MESI" in text and "3D torus" in text.replace("3d", "3D")
+
+    def test_table3_rows_cover_all_designs(self):
+        result = run_table3()
+        designs = result.column("Design")
+        assert set(designs) == {"edge", "per_tile", "split", "numa"}
+        assert result.column("Analytical cycles") == [710, 445, 447, 395]
+
+    def test_fig5_series_shapes(self):
+        result = run_fig5()
+        hops = result.column("Hops")
+        assert hops[0] == 0 and hops[-1] == 12
+        edge_overhead = result.column("NIedge overhead (%)")
+        assert edge_overhead == sorted(edge_overhead, reverse=True)
+
+
+class TestSimulatedExperiments:
+    """Scaled-down runs of the simulator-backed experiments."""
+
+    def test_fig6_small_sweep_preserves_design_ordering(self):
+        result = run_fig6(config=small_config(), sizes=(64, 4096), iterations=2, warmup=1)
+        sizes = result.column("Transfer (B)")
+        assert sizes == [64, 4096]
+        edge = result.column("NIedge (ns)")
+        split = result.column("NIsplit (ns)")
+        numa = result.column("NUMA projection (ns)")
+        assert edge[0] > split[0] > numa[0]
+
+    def test_fig7_small_sweep_runs(self):
+        result = run_fig7(config=small_config(), sizes=(512,), warmup_cycles=500, measure_cycles=2000)
+        assert len(result.rows) == 1
+        for header in ("NIedge (GBps)", "NIsplit (GBps)", "NIper-tile (GBps)"):
+            assert result.column(header)[0] > 0
+
+    def test_table3_with_simulation_column(self):
+        result = run_table3(config=small_config(), simulate=True, iterations=2)
+        simulated = result.column("Simulated cycles")
+        assert all(value > 0 for value in simulated)
+
+    def test_routing_ablation_covers_requested_policies(self):
+        result = run_routing_ablation(
+            config=small_config(),
+            transfer_bytes=512,
+            policies=(RoutingAlgorithm.XY, RoutingAlgorithm.CDR_EXTENDED),
+            warmup_cycles=500,
+            measure_cycles=1500,
+        )
+        assert result.column("Routing") == ["xy", "cdr_extended"]
+        assert all(value > 0 for value in result.column("Application (GBps)"))
+
+    def test_owned_state_ablation_shows_a_penalty(self):
+        result = run_owned_state_ablation(config=small_config(), iterations=2)
+        rows = {(row[0], row[1]): row[2] for row in result.rows}
+        assert rows[("split", "off")] >= rows[("split", "on")]
+
+
+class TestRegistry:
+    def test_every_table_and_figure_is_registered(self):
+        names = list_experiments()
+        for expected in ("table1", "table2", "table3", "fig5", "fig6", "fig7", "fig9", "fig10"):
+            assert expected in names
+
+    def test_get_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+    def test_registry_values_are_callable(self):
+        assert all(callable(runner) for runner in EXPERIMENTS.values())
+
+    def test_runner_formats_fast_experiments(self):
+        results = run_experiments(["table1", "fig5"])
+        text = format_results(results)
+        assert "Table 1" in text and "Figure 5" in text

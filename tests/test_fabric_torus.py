@@ -1,0 +1,74 @@
+"""Tests for the 3D-torus rack fabric."""
+
+import pytest
+
+from repro.config import RackConfig, SystemConfig
+from repro.errors import ConfigurationError, TopologyError
+from repro.fabric.interconnect import InterconnectModel
+from repro.fabric.torus import Torus3D
+
+
+class TestTorus:
+    def test_node_count(self):
+        assert Torus3D((8, 8, 8)).node_count == 512
+        assert Torus3D((2, 3, 4)).node_count == 24
+
+    def test_coordinate_round_trip(self):
+        torus = Torus3D((8, 8, 8))
+        for node in (0, 1, 8, 64, 511):
+            assert torus.node_id(torus.coord(node)) == node
+
+    def test_out_of_range_rejected(self):
+        torus = Torus3D((8, 8, 8))
+        with pytest.raises(TopologyError):
+            torus.coord(512)
+        with pytest.raises(TopologyError):
+            torus.node_id((8, 0, 0))
+        with pytest.raises(TopologyError):
+            Torus3D((0, 8, 8))
+
+    def test_wraparound_distances(self):
+        torus = Torus3D((8, 8, 8))
+        # Nodes at opposite ends of one dimension are a single hop apart.
+        assert torus.hop_count(torus.node_id((0, 0, 0)), torus.node_id((7, 0, 0))) == 1
+        assert torus.hop_count(torus.node_id((0, 0, 0)), torus.node_id((4, 0, 0))) == 4
+
+    def test_hop_count_symmetry(self):
+        torus = Torus3D((8, 8, 8))
+        for a, b in ((0, 511), (17, 300), (42, 43)):
+            assert torus.hop_count(a, b) == torus.hop_count(b, a)
+
+    def test_paper_hop_statistics(self):
+        """§6.1.2: 6 average and 12 maximum hops for the 512-node torus."""
+        torus = Torus3D((8, 8, 8))
+        assert torus.max_hop_count() == 12
+        assert torus.average_hop_count() == pytest.approx(6.0)
+
+    def test_neighbors(self):
+        torus = Torus3D((8, 8, 8))
+        neighbors = torus.neighbors(0)
+        assert len(neighbors) == 6
+        assert all(torus.hop_count(0, n) == 1 for n in neighbors)
+
+    def test_from_config(self):
+        torus = Torus3D.from_config(RackConfig())
+        assert torus.node_count == 512
+
+
+class TestInterconnect:
+    def test_hop_latency_cycles(self):
+        model = InterconnectModel.from_config(SystemConfig.paper_defaults())
+        assert model.hop_latency_cycles == 70
+        assert model.one_way_latency_cycles(6) == 420
+        assert model.round_trip_latency_cycles(1) == 140
+
+    def test_node_to_node_latency(self):
+        model = InterconnectModel.from_config(SystemConfig.paper_defaults())
+        src = 0
+        dst = model.torus.node_id((1, 0, 0))
+        assert model.node_to_node_latency_cycles(src, dst) == 70
+
+    def test_negative_hops_rejected(self):
+        model = InterconnectModel.from_config(SystemConfig.paper_defaults())
+        with pytest.raises(ConfigurationError):
+            model.one_way_latency_cycles(-1)

@@ -1,0 +1,120 @@
+"""Tests for the NOC contention model."""
+
+import pytest
+
+from repro.config import MessageClass, NocConfig
+from repro.noc.fabric import NocFabric
+from repro.noc.mesh import MeshTopology
+from repro.noc.packet import HEADER_BYTES, Packet
+from repro.sim.engine import Simulator
+
+
+def make_fabric(side: int = 8):
+    sim = Simulator()
+    topology = MeshTopology(side, NocConfig())
+    return sim, NocFabric(sim, topology, NocConfig())
+
+
+class TestPacket:
+    def test_flit_count_includes_header(self):
+        packet = Packet((0, 0), (1, 0), 64, MessageClass.NI_DATA)
+        assert packet.flits(16) == 5
+        assert packet.wire_bytes(16) == 80
+
+    def test_control_packet_is_two_flits(self):
+        packet = Packet((0, 0), (1, 0), 8, MessageClass.COHERENCE_REQUEST)
+        assert packet.flits(16) == 2
+
+    def test_latency_unknown_until_delivery(self):
+        packet = Packet((0, 0), (1, 0), 8, MessageClass.NI_DATA, created_at=5.0)
+        assert packet.latency is None
+        packet.delivered_at = 25.0
+        assert packet.latency == 20.0
+
+    def test_header_constant(self):
+        assert HEADER_BYTES == 16
+
+
+class TestZeroLoadLatency:
+    def test_single_hop_control_packet(self):
+        sim, fabric = make_fabric()
+        # 1 hop x 3 cycles + (2 flits - 1) serialization.
+        assert fabric.zero_load_latency((0, 0), (1, 0), 8) == 4
+
+    def test_multi_hop_data_packet(self):
+        sim, fabric = make_fabric()
+        # 8 hops x 3 + (5 - 1).
+        assert fabric.zero_load_latency((0, 0), (5, 3), 64) == 28
+
+    def test_local_delivery(self):
+        sim, fabric = make_fabric()
+        assert fabric.zero_load_latency((2, 2), (2, 2), 64) == NocFabric.LOCAL_DELIVERY_CYCLES
+
+    def test_simulated_delivery_matches_zero_load_estimate(self):
+        sim, fabric = make_fabric()
+        delivered = {}
+        fabric.send((0, 0), (5, 3), 64, MessageClass.NI_DATA, lambda p: delivered.update(t=sim.now))
+        sim.run()
+        assert delivered["t"] == fabric.zero_load_latency((0, 0), (5, 3), 64)
+
+
+class TestContention:
+    def test_back_to_back_packets_serialize_on_a_shared_link(self):
+        sim, fabric = make_fabric()
+        times = []
+        for _ in range(3):
+            fabric.send((0, 0), (3, 0), 64, MessageClass.NI_DATA, lambda p: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)
+        # Each 5-flit packet delays the next by 5 cycles on the first link.
+        assert times[1] - times[0] == pytest.approx(5.0)
+        assert times[2] - times[1] == pytest.approx(5.0)
+
+    def test_disjoint_paths_do_not_interfere(self):
+        sim, fabric = make_fabric()
+        times = {}
+        fabric.send((0, 0), (3, 0), 64, MessageClass.NI_DATA, lambda p: times.setdefault("a", sim.now))
+        fabric.send((0, 5), (3, 5), 64, MessageClass.NI_DATA, lambda p: times.setdefault("b", sim.now))
+        sim.run()
+        assert times["a"] == times["b"]
+
+    def test_statistics_accumulate(self):
+        sim, fabric = make_fabric()
+        fabric.send((0, 0), (4, 0), 64, MessageClass.NI_DATA)
+        fabric.send((0, 0), (4, 0), 8, MessageClass.COHERENCE_REQUEST)
+        sim.run()
+        assert fabric.packets_sent == 2
+        assert fabric.packets_delivered == 2
+        assert fabric.payload_bytes_delivered == 72
+        assert fabric.wire_bytes_sent == 80 + 32
+        assert fabric.bytes_by_class[MessageClass.NI_DATA] == 80
+
+    def test_bisection_accounting(self):
+        sim, fabric = make_fabric()
+        fabric.send((0, 0), (7, 0), 64, MessageClass.NI_DATA)   # crosses the bisection
+        fabric.send((0, 0), (2, 0), 64, MessageClass.NI_DATA)   # stays in the west half
+        sim.run()
+        assert fabric.bisection_bytes == 80
+
+    def test_reset_stats(self):
+        sim, fabric = make_fabric()
+        fabric.send((0, 0), (7, 0), 64, MessageClass.NI_DATA)
+        sim.run()
+        fabric.reset_stats()
+        assert fabric.wire_bytes_sent == 0
+        assert fabric.packets_sent == 0
+        assert fabric.max_link_utilization() == 0.0
+
+    def test_link_utilization_reports_busy_links(self):
+        sim, fabric = make_fabric()
+        for _ in range(10):
+            fabric.send((0, 0), (1, 0), 64, MessageClass.NI_DATA)
+        sim.run()
+        utilization = fabric.link_utilization()
+        assert utilization[((0, 0), (1, 0))] > 0.5
+
+    def test_aggregate_wire_gbps(self):
+        sim, fabric = make_fabric()
+        fabric.send((0, 0), (1, 0), 64, MessageClass.NI_DATA)
+        sim.run()
+        assert fabric.aggregate_wire_gbps(frequency_ghz=2.0) > 0.0

@@ -1,0 +1,78 @@
+"""Tests for the NOC-Out topology (§6.3)."""
+
+import pytest
+
+from repro.config import MessageClass, NocConfig
+from repro.errors import TopologyError
+from repro.noc.nocout import NOCOUT_CORE, NOCOUT_EDGE, NOCOUT_LLC, NOCOUT_MC, NocOutTopology
+
+
+@pytest.fixture
+def nocout() -> NocOutTopology:
+    return NocOutTopology(columns=8, cores_per_column=8, noc_config=NocConfig())
+
+
+class TestStructure:
+    def test_node_inventory(self, nocout):
+        nodes = list(nocout.nodes())
+        assert ((NOCOUT_LLC, 0) in nodes) and ((NOCOUT_LLC, 7) in nodes)
+        assert (NOCOUT_EDGE, 0) in nodes
+        assert sum(1 for n in nodes if n[0] == NOCOUT_CORE) == 64
+        assert sum(1 for n in nodes if n[0] == NOCOUT_MC) == 8
+
+    def test_core_node_mapping_is_column_major(self, nocout):
+        assert nocout.core_node(0) == (NOCOUT_CORE, 0, 0)
+        assert nocout.core_node(1) == (NOCOUT_CORE, 1, 0)
+        assert nocout.core_node(8) == (NOCOUT_CORE, 0, 1)
+
+    def test_out_of_range_nodes_rejected(self, nocout):
+        with pytest.raises(TopologyError):
+            nocout.core_node(64)
+        with pytest.raises(TopologyError):
+            nocout.llc_node(8)
+        with pytest.raises(TopologyError):
+            nocout.mc_node(9)
+
+    def test_tree_depth_splits_cores_on_both_sides(self, nocout):
+        depths = [nocout.tree_depth((NOCOUT_CORE, 0, k)) for k in range(8)]
+        assert depths == [1, 2, 3, 4, 1, 2, 3, 4]
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(TopologyError):
+            NocOutTopology(columns=0)
+
+
+class TestRouting:
+    def test_core_to_own_llc_uses_only_tree_links(self, nocout):
+        links = nocout.route((NOCOUT_CORE, 2, 2), (NOCOUT_LLC, 2), MessageClass.NI_DATA)
+        assert len(links) == 3  # depth of core 2 is 3 tree hops
+        assert all(link.hop_cycles == 1 for link in links)
+
+    def test_core_to_remote_llc_crosses_butterfly_once(self, nocout):
+        links = nocout.route((NOCOUT_CORE, 0, 0), (NOCOUT_LLC, 7), MessageClass.NI_DATA)
+        butterfly_links = [l for l in links if l.src[0] == NOCOUT_LLC and l.dst[0] == NOCOUT_LLC]
+        assert len(butterfly_links) == 1
+        # 7 tiles at 2 tiles/cycle -> 4 cycles.
+        assert butterfly_links[0].hop_cycles == 4
+
+    def test_llc_to_mc_is_single_hop(self, nocout):
+        links = nocout.route((NOCOUT_LLC, 3), (NOCOUT_MC, 3), MessageClass.NI_DATA)
+        assert len(links) == 1
+
+    def test_core_to_core_path_descends_and_ascends(self, nocout):
+        links = nocout.route((NOCOUT_CORE, 1, 0), (NOCOUT_CORE, 6, 5), MessageClass.NI_DATA)
+        assert links[0].src == (NOCOUT_CORE, 1, 0)
+        assert links[-1].dst == (NOCOUT_CORE, 6, 5)
+        kinds = [link.dst[0] for link in links]
+        assert NOCOUT_LLC in kinds
+
+    def test_route_to_self_is_empty(self, nocout):
+        assert list(nocout.route((NOCOUT_LLC, 2), (NOCOUT_LLC, 2), MessageClass.NI_DATA)) == []
+
+    def test_latency_improves_on_mesh_for_core_to_llc(self, nocout):
+        """NOC-Out's reduction trees reach the LLC row in at most 4 cycles."""
+        worst = max(
+            nocout.min_latency_cycles(nocout.core_node(t), nocout.llc_node(t % 8))
+            for t in range(64)
+        )
+        assert worst <= 4

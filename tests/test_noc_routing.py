@@ -1,0 +1,99 @@
+"""Tests for mesh routing policies (§4.3)."""
+
+import pytest
+
+from repro.config import MessageClass, RoutingAlgorithm
+from repro.errors import RoutingError
+from repro.noc.routing import (
+    average_distance_to_column,
+    average_tile_to_tile_distance,
+    manhattan_distance,
+    mesh_route,
+    o1turn_path,
+    route_class_direction,
+    xy_path,
+    yx_path,
+)
+
+
+class TestDimensionOrderPaths:
+    def test_xy_moves_x_first(self):
+        path = xy_path((0, 0), (3, 2))
+        assert path == [(0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (3, 2)]
+
+    def test_yx_moves_y_first(self):
+        path = yx_path((0, 0), (3, 2))
+        assert path == [(0, 0), (0, 1), (0, 2), (1, 2), (2, 2), (3, 2)]
+
+    def test_paths_handle_negative_direction(self):
+        path = xy_path((3, 3), (1, 1))
+        assert path[0] == (3, 3) and path[-1] == (1, 1)
+        assert len(path) == manhattan_distance((3, 3), (1, 1)) + 1
+
+    def test_same_source_and_destination(self):
+        assert xy_path((2, 2), (2, 2)) == [(2, 2)]
+        assert mesh_route(RoutingAlgorithm.XY, (2, 2), (2, 2), MessageClass.NI_DATA) == [(2, 2)]
+
+    def test_path_steps_are_single_hops(self):
+        for path in (xy_path((0, 7), (7, 0)), yx_path((5, 1), (2, 6))):
+            for a, b in zip(path, path[1:]):
+                assert manhattan_distance(a, b) == 1
+
+    def test_o1turn_alternates_by_packet_id(self):
+        assert o1turn_path((0, 0), (2, 2), packet_id=0) == xy_path((0, 0), (2, 2))
+        assert o1turn_path((0, 0), (2, 2), packet_id=1) == yx_path((0, 0), (2, 2))
+
+
+class TestClassBasedRouting:
+    def test_cdr_routes_memory_requests_yx(self):
+        assert route_class_direction(RoutingAlgorithm.CDR, MessageClass.MEMORY_REQUEST) == "yx"
+        assert route_class_direction(RoutingAlgorithm.CDR, MessageClass.MEMORY_RESPONSE) == "xy"
+
+    def test_extended_cdr_routes_only_directory_traffic_yx(self):
+        for msg_class in MessageClass:
+            direction = route_class_direction(RoutingAlgorithm.CDR_EXTENDED, msg_class)
+            if msg_class is MessageClass.DIRECTORY_SOURCED:
+                assert direction == "yx"
+            else:
+                assert direction == "xy"
+
+    def test_o1turn_has_no_fixed_class_direction(self):
+        with pytest.raises(RoutingError):
+            route_class_direction(RoutingAlgorithm.O1TURN, MessageClass.NI_DATA)
+
+    def test_mesh_route_respects_class(self):
+        dir_path = mesh_route(RoutingAlgorithm.CDR_EXTENDED, (2, 1), (5, 6),
+                              MessageClass.DIRECTORY_SOURCED)
+        other_path = mesh_route(RoutingAlgorithm.CDR_EXTENDED, (2, 1), (5, 6),
+                                MessageClass.NI_DATA)
+        assert dir_path == yx_path((2, 1), (5, 6))
+        assert other_path == xy_path((2, 1), (5, 6))
+
+    def test_directory_sourced_traffic_never_turns_at_edge_columns(self):
+        """Extended CDR keeps directory traffic off the vertical edge links (§4.3)."""
+        for dst in ((0, 5), (7, 2)):
+            path = mesh_route(RoutingAlgorithm.CDR_EXTENDED, (3, 1), dst,
+                              MessageClass.DIRECTORY_SOURCED)
+            vertical_moves_at_edge = [
+                (a, b) for a, b in zip(path, path[1:])
+                if a[0] == b[0] and a[0] in (0, 7) and a[1] != b[1]
+            ]
+            assert vertical_moves_at_edge == []
+
+
+class TestDistanceHelpers:
+    def test_manhattan_distance(self):
+        assert manhattan_distance((0, 0), (7, 7)) == 14
+        assert manhattan_distance((3, 4), (3, 4)) == 0
+
+    def test_average_distance_to_column(self):
+        assert average_distance_to_column(8, 0) == pytest.approx(3.5)
+        assert average_distance_to_column(8, 7) == pytest.approx(3.5)
+
+    def test_average_distance_to_column_bounds(self):
+        with pytest.raises(RoutingError):
+            average_distance_to_column(8, 9)
+
+    def test_average_tile_to_tile_distance(self):
+        # For an 8x8 mesh the mean Manhattan distance is 2 * 21/4 = 5.25.
+        assert average_tile_to_tile_distance(8) == pytest.approx(5.25)

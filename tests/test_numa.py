@@ -1,0 +1,55 @@
+"""Tests for the idealized NUMA baseline."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.numa.machine import NumaMachine
+
+
+class TestProjection:
+    def test_single_block_latency_matches_table1(self):
+        numa = NumaMachine()
+        assert numa.remote_read_cycles(hops=1) == 395
+        assert numa.remote_read_ns(hops=1) == pytest.approx(197.5)
+
+    def test_breakdown_components(self):
+        numa = NumaMachine()
+        components = numa.breakdown(hops=1)
+        labels = [component.label for component in components]
+        assert any("single load" in label for label in labels)
+        assert sum(c.cycles for c in components) == 395
+
+    def test_latency_scales_with_hops(self):
+        numa = NumaMachine()
+        assert numa.remote_read_cycles(hops=6) == 395 + 5 * 140
+        with pytest.raises(ConfigurationError):
+            numa.remote_read_cycles(hops=-1)
+
+    def test_transfer_latency_grows_with_size(self):
+        numa = NumaMachine()
+        single = numa.transfer_latency_cycles(64)
+        large = numa.transfer_latency_cycles(8192)
+        assert single == 395
+        assert large > single
+        # 128 blocks streamed at 5 flit-cycles apart after the first.
+        assert large == 395 + 127 * 5
+
+    def test_respects_custom_config(self):
+        config = SystemConfig.paper_defaults()
+        numa = NumaMachine(config)
+        assert numa.remote_read_cycles() == 395
+
+
+class TestSimulatedPath:
+    def test_simulated_single_block_read_close_to_projection(self):
+        numa = NumaMachine()
+        simulated = numa.simulate_remote_read_cycles(tile_id=27, hops=1)
+        projected = numa.remote_read_cycles(hops=1)
+        # The simulated on-chip traversal replaces the calibrated 23-cycle
+        # constants, so allow a modest tolerance.
+        assert abs(simulated - projected) / projected < 0.15
+
+    def test_simulated_latency_increases_with_hops(self):
+        numa = NumaMachine()
+        assert numa.simulate_remote_read_cycles(hops=4) > numa.simulate_remote_read_cycles(hops=1)

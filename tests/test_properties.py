@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MessageClass, NocConfig, RoutingAlgorithm
+from repro.fabric.torus import Torus3D
+from repro.memory.address import AddressMap
+from repro.noc.mesh import MeshTopology
+from repro.noc.routing import manhattan_distance, mesh_route
+from repro.qp.entries import RemoteOp, WorkQueueEntry
+from repro.qp.queues import WorkQueue
+from repro.sim.stats import StatAccumulator
+from repro.sonuma.unroll import block_count, unroll_blocks
+
+coords = st.tuples(st.integers(0, 7), st.integers(0, 7))
+policies = st.sampled_from(list(RoutingAlgorithm))
+classes = st.sampled_from(list(MessageClass))
+
+
+class TestRoutingProperties:
+    @given(policies, coords, coords, classes, st.integers(0, 1000))
+    @settings(max_examples=150)
+    def test_routes_are_minimal_and_connected(self, policy, src, dst, msg_class, packet_id):
+        path = mesh_route(policy, src, dst, msg_class, packet_id)
+        assert path[0] == src and path[-1] == dst
+        assert len(path) == manhattan_distance(src, dst) + 1
+        for a, b in zip(path, path[1:]):
+            assert manhattan_distance(a, b) == 1
+
+    @given(coords, coords, classes)
+    def test_mesh_topology_route_matches_hop_count(self, src, dst, msg_class):
+        mesh = MeshTopology(8, NocConfig())
+        links = mesh.route(src, dst, msg_class)
+        assert len(links) == mesh.hop_count(src, dst)
+
+
+class TestTorusProperties:
+    @given(st.integers(0, 511), st.integers(0, 511))
+    @settings(max_examples=150)
+    def test_distance_is_a_metric(self, a, b):
+        torus = Torus3D((8, 8, 8))
+        d = torus.hop_count(a, b)
+        assert d == torus.hop_count(b, a)
+        assert (d == 0) == (a == b)
+        assert d <= torus.max_hop_count()
+
+    @given(st.integers(0, 511), st.integers(0, 511), st.integers(0, 511))
+    @settings(max_examples=75)
+    def test_triangle_inequality(self, a, b, c):
+        torus = Torus3D((8, 8, 8))
+        assert torus.hop_count(a, c) <= torus.hop_count(a, b) + torus.hop_count(b, c)
+
+    @given(st.integers(0, 511))
+    def test_coordinate_round_trip(self, node):
+        torus = Torus3D((8, 8, 8))
+        assert torus.node_id(torus.coord(node)) == node
+
+
+class TestAddressMapProperties:
+    @given(st.integers(0, 2 ** 40))
+    @settings(max_examples=150)
+    def test_block_alignment_and_ranges(self, addr):
+        amap = AddressMap(llc_slices=64, memory_controllers=8, rrpps=8)
+        block = amap.block_address(addr)
+        assert block % 64 == 0
+        assert block <= addr < block + 64
+        assert 0 <= amap.home_llc_slice(addr) < 64
+        assert 0 <= amap.memory_controller(addr) < 8
+        assert 0 <= amap.rrpp_for_offset(addr) < 8
+
+    @given(st.integers(0, 2 ** 30), st.integers(1, 1 << 16))
+    @settings(max_examples=100)
+    def test_blocks_in_cover_exactly_the_requested_range(self, offset, length):
+        amap = AddressMap(llc_slices=64, memory_controllers=8, rrpps=8)
+        blocks = list(amap.blocks_in(offset, length))
+        assert blocks[0] <= offset
+        assert blocks[-1] + 64 >= offset + length
+        assert blocks == sorted(set(blocks))
+        assert all(b2 - b1 == 64 for b1, b2 in zip(blocks, blocks[1:]))
+
+
+class TestUnrollProperties:
+    @given(st.integers(1, 1 << 16), st.integers(0, 2 ** 20))
+    @settings(max_examples=150)
+    def test_unroll_covers_the_transfer_exactly_once(self, length, offset_blocks):
+        offset = offset_blocks * 64
+        entry = WorkQueueEntry(RemoteOp.READ, 0, 1, offset, 0, length)
+        requests = unroll_blocks(entry, src_node=0, transfer_id=1)
+        assert len(requests) == block_count(length)
+        offsets = [r.offset for r in requests]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == offset
+        assert all(b - a == 64 for a, b in zip(offsets, offsets[1:]))
+        assert all(r.total_blocks == len(requests) for r in requests)
+        assert [r.block_index for r in requests] == list(range(len(requests)))
+
+
+class TestQueueProperties:
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+    @settings(max_examples=100)
+    def test_work_queue_is_fifo_under_any_interleaving(self, offsets):
+        wq = WorkQueue(capacity=16, base_addr=0)
+        posted = []
+        popped = []
+        for offset in offsets:
+            if wq.is_full():
+                popped.append(wq.pop().remote_offset)
+            entry = WorkQueueEntry(RemoteOp.READ, 0, 1, offset * 64, 0, 64)
+            wq.post(entry)
+            posted.append(offset * 64)
+        while not wq.is_empty():
+            popped.append(wq.pop().remote_offset)
+        assert popped == posted
+        assert wq.posts == len(posted) and wq.pops == len(popped)
+
+    @given(st.integers(1, 256), st.integers(0, 255))
+    def test_entry_block_addresses_are_block_aligned_and_ordered(self, capacity, index):
+        wq = WorkQueue(capacity=capacity, base_addr=0x10000)
+        index = index % capacity
+        addr = wq.entry_block_address(index)
+        assert addr % 64 == 0
+        assert 0x10000 <= addr < 0x10000 + capacity * 32 + 64
+
+
+class TestStatProperties:
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=200))
+    @settings(max_examples=100)
+    def test_accumulator_matches_reference_mean_and_bounds(self, values):
+        acc = StatAccumulator()
+        for value in values:
+            acc.add(value)
+        assert acc.count == len(values)
+        assert acc.minimum == min(values)
+        assert acc.maximum == max(values)
+        assert abs(acc.mean - sum(values) / len(values)) < 1e-6 * max(1.0, abs(sum(values)))
+        assert acc.variance >= -1e-9
+
+    @given(st.lists(st.floats(0, 1e6, allow_nan=False), min_size=2, max_size=100),
+           st.integers(1, 99))
+    @settings(max_examples=100)
+    def test_merge_is_equivalent_to_sequential_adds(self, values, split_point):
+        split_point = split_point % (len(values) - 1) + 1
+        reference = StatAccumulator()
+        for value in values:
+            reference.add(value)
+        left, right = StatAccumulator(), StatAccumulator()
+        for value in values[:split_point]:
+            left.add(value)
+        for value in values[split_point:]:
+            right.add(value)
+        left.merge(right)
+        assert left.count == reference.count
+        assert abs(left.mean - reference.mean) < 1e-6 * max(1.0, abs(reference.mean))

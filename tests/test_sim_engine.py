@@ -1,0 +1,162 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Process, Simulator, drain
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(10, order.append, "b")
+        sim.schedule(5, order.append, "a")
+        sim.schedule(20, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 20
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5, order.append, 1)
+        sim.schedule(5, order.append, 2)
+        sim.schedule(5, order.append, 3)
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(5, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 3:
+                sim.schedule(1, chain, depth + 1)
+
+        sim.schedule(0, chain, 0)
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+        assert sim.now == 3
+
+
+class TestRunBounds:
+    def test_run_until_stops_the_clock_at_the_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5, fired.append, "early")
+        sim.schedule(50, fired.append, "late")
+        sim.run(until=10)
+        assert fired == ["early"]
+        assert sim.now == 10
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=100)
+        assert sim.now == 100
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(i + 1, fired.append, i)
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_stop_from_within_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1, fired.append, "a")
+        sim.schedule(2, sim.stop)
+        sim.schedule(3, fired.append, "b")
+        sim.run()
+        assert fired == ["a"]
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1, lambda: None)
+        sim.run()
+        assert sim.events_executed == 4
+
+
+class TestProcess:
+    def test_process_yields_delays(self):
+        sim = Simulator()
+        trace = []
+
+        def worker():
+            trace.append(("start", sim.now))
+            yield 10
+            trace.append(("mid", sim.now))
+            yield 5
+            trace.append(("end", sim.now))
+            return "done"
+
+        proc = sim.process(worker())
+        sim.run()
+        assert proc.finished
+        assert proc.result == "done"
+        assert trace == [("start", 0.0), ("mid", 10.0), ("end", 15.0)]
+
+    def test_process_completion_callback(self):
+        sim = Simulator()
+        seen = []
+
+        def worker():
+            yield 1
+            return 42
+
+        proc = sim.process(worker())
+        proc.on_complete(lambda p: seen.append(p.result))
+        sim.run()
+        assert seen == [42]
+
+    def test_negative_yield_raises(self):
+        sim = Simulator()
+
+        def worker():
+            yield -5
+
+        sim.process(worker())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_drain_runs_until_all_processes_finish(self):
+        sim = Simulator()
+
+        def worker(delay):
+            yield delay
+            return delay
+
+        procs = [sim.process(worker(d)) for d in (3, 7, 1)]
+        drain(sim, procs)
+        assert all(p.finished for p in procs)
+        assert sim.now == 7

@@ -1,0 +1,113 @@
+"""Tests for busy-until resources, channels and pipelines."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.resource import Channel, Pipeline, Resource
+
+
+class TestResource:
+    def test_serialization_of_back_to_back_grants(self):
+        sim = Simulator()
+        res = Resource(sim, "r")
+        assert res.acquire(10) == 0
+        assert res.acquire(10) == 10
+        assert res.acquire(5) == 20
+        assert res.free_at == 25
+
+    def test_grant_after_idle_period_starts_now(self):
+        sim = Simulator()
+        res = Resource(sim, "r")
+        res.acquire(5)
+        sim.schedule(100, lambda: None)
+        sim.run()
+        assert res.acquire(5) == 100
+
+    def test_negative_occupancy_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Resource(sim, "r").acquire(-1)
+
+    def test_acquire_then_schedules_callback_at_completion(self):
+        sim = Simulator()
+        res = Resource(sim, "r")
+        times = []
+        res.acquire_then(10, lambda: times.append(sim.now))
+        res.acquire_then(10, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [10, 20]
+
+    def test_utilization_tracks_busy_fraction(self):
+        sim = Simulator()
+        res = Resource(sim, "r")
+        res.acquire_then(25, lambda: None)
+        sim.schedule(100, lambda: None)
+        sim.run()
+        assert res.utilization() == pytest.approx(0.25)
+
+    def test_utilization_resets_with_stats(self):
+        sim = Simulator()
+        res = Resource(sim, "r")
+        res.acquire_then(50, lambda: None)
+        sim.schedule(100, lambda: None)
+        sim.run()
+        res.reset_stats()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        assert res.utilization() == 0.0
+
+
+class TestChannel:
+    def test_send_occupies_proportionally_to_bytes(self):
+        sim = Simulator()
+        channel = Channel(sim, bytes_per_cycle=16, name="link")
+        assert channel.send(64) == 0
+        assert channel.send(64) == pytest.approx(4.0)
+        assert channel.bytes_transferred == 128
+
+    def test_serialization_cycles(self):
+        sim = Simulator()
+        channel = Channel(sim, bytes_per_cycle=16)
+        assert channel.serialization_cycles(80) == pytest.approx(5.0)
+
+    def test_zero_bandwidth_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Channel(sim, bytes_per_cycle=0)
+
+    def test_negative_bytes_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Channel(sim, 16).send(-1)
+
+
+class TestPipeline:
+    def test_initiation_interval_limits_throughput(self):
+        sim = Simulator()
+        pipe = Pipeline(sim, initiation_interval=1, depth=10, name="p")
+        completions = [pipe.issue() for _ in range(4)]
+        assert completions == [10, 11, 12, 13]
+
+    def test_depth_adds_latency_only_once_per_item(self):
+        sim = Simulator()
+        pipe = Pipeline(sim, initiation_interval=2, depth=5)
+        assert pipe.issue() == 5
+        assert pipe.issue() == 7
+
+    def test_issue_then_callbacks_fire_in_order(self):
+        sim = Simulator()
+        pipe = Pipeline(sim, 1, 3)
+        seen = []
+        for i in range(3):
+            pipe.issue_then(seen.append, i)
+        sim.run()
+        assert seen == [0, 1, 2]
+        assert sim.now == 5  # last item issued at cycle 2, ready at 2 + 3
+
+    def test_invalid_parameters_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Pipeline(sim, 0, 1)
+        with pytest.raises(SimulationError):
+            Pipeline(sim, 1, -1)

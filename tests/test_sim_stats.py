@@ -1,0 +1,120 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+
+from repro.sim.stats import LatencyRecorder, StatAccumulator, ThroughputMeter, WindowedMonitor
+
+
+class TestStatAccumulator:
+    def test_mean_and_extremes(self):
+        acc = StatAccumulator("x")
+        for value in (2.0, 4.0, 6.0):
+            acc.add(value)
+        assert acc.count == 3
+        assert acc.mean == pytest.approx(4.0)
+        assert acc.minimum == 2.0
+        assert acc.maximum == 6.0
+        assert acc.total == 12.0
+
+    def test_variance_and_stddev(self):
+        acc = StatAccumulator()
+        for value in (1.0, 3.0):
+            acc.add(value)
+        assert acc.variance == pytest.approx(1.0)
+        assert acc.stddev == pytest.approx(1.0)
+
+    def test_empty_accumulator_is_safe(self):
+        acc = StatAccumulator()
+        assert acc.mean == 0.0
+        assert acc.variance == 0.0
+        assert acc.as_dict()["count"] == 0
+
+    def test_merge_matches_single_accumulator(self):
+        values = [1.0, 5.0, 2.0, 8.0, 3.0, 9.0]
+        combined = StatAccumulator()
+        for v in values:
+            combined.add(v)
+        left, right = StatAccumulator(), StatAccumulator()
+        for v in values[:3]:
+            left.add(v)
+        for v in values[3:]:
+            right.add(v)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean)
+        assert left.variance == pytest.approx(combined.variance)
+        assert left.minimum == combined.minimum
+        assert left.maximum == combined.maximum
+
+    def test_merge_with_empty(self):
+        acc = StatAccumulator()
+        acc.add(4.0)
+        acc.merge(StatAccumulator())
+        assert acc.count == 1
+
+
+class TestLatencyRecorder:
+    def test_percentiles(self):
+        rec = LatencyRecorder()
+        for value in range(1, 101):
+            rec.add(float(value))
+        assert rec.percentile(0) == 1.0
+        assert rec.percentile(100) == 100.0
+        assert rec.percentile(50) == pytest.approx(50.5)
+
+    def test_sample_cap(self):
+        rec = LatencyRecorder(max_samples=10)
+        for value in range(100):
+            rec.add(float(value))
+        assert len(rec.samples) == 10
+        assert rec.count == 100
+
+    def test_empty_percentile_is_zero(self):
+        assert LatencyRecorder().percentile(99) == 0.0
+
+
+class TestThroughputMeter:
+    def test_rates(self):
+        meter = ThroughputMeter()
+        meter.record(1000)
+        meter.record(1000)
+        assert meter.bytes_per_cycle(now=100) == pytest.approx(20.0)
+        assert meter.gbps(now=100, frequency_ghz=2.0) == pytest.approx(40.0)
+
+    def test_reset_restarts_window(self):
+        meter = ThroughputMeter()
+        meter.record(500)
+        meter.reset(now=50)
+        assert meter.bytes_delivered == 0
+        assert meter.bytes_per_cycle(now=100) == 0.0
+
+    def test_zero_elapsed_is_safe(self):
+        assert ThroughputMeter().bytes_per_cycle(now=0) == 0.0
+
+
+class TestWindowedMonitor:
+    def test_converges_when_windows_agree_within_tolerance(self):
+        monitor = WindowedMonitor(tolerance=0.01, min_windows=2)
+        monitor.record_window(100.0)
+        assert not monitor.converged
+        monitor.record_window(100.5)
+        assert monitor.converged
+        assert monitor.value == pytest.approx(100.25)
+
+    def test_does_not_converge_while_changing(self):
+        monitor = WindowedMonitor(tolerance=0.01)
+        monitor.record_window(100.0)
+        monitor.record_window(150.0)
+        assert not monitor.converged
+
+    def test_max_windows_forces_convergence(self):
+        monitor = WindowedMonitor(tolerance=0.0001, max_windows=3)
+        for value in (1.0, 2.0, 3.0):
+            monitor.record_window(value)
+        assert monitor.converged
+
+    def test_all_zero_windows_converge(self):
+        monitor = WindowedMonitor()
+        monitor.record_window(0.0)
+        monitor.record_window(0.0)
+        assert monitor.converged
