@@ -1,0 +1,36 @@
+"""Shared parameters and helpers for the benchmark harness.
+
+Importable under its own name (unlike ``conftest``, whose bare-module import
+is resolved against whichever conftest.py pytest loaded first when both
+``tests/`` and ``benchmarks/`` are collected).
+
+Each benchmark regenerates one table or figure of the paper through the
+declarative spec registry (:func:`run_spec`).  The simulator-backed figures
+use shortened warm-up/measurement windows and a subset of the x-axis so the
+whole harness finishes in minutes on a laptop; the full sweeps are available
+through ``repro-experiments`` or by running a spec with its default
+parameters.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import get_spec
+
+#: Warm-up and measurement windows (cycles) for bandwidth benchmarks.
+BENCH_WARMUP_CYCLES = 3_000
+BENCH_MEASURE_CYCLES = 8_000
+
+#: Transfer sizes exercised by the latency benchmarks (subset of Fig. 6/9).
+LATENCY_SIZES = (64, 1024, 8192)
+#: Transfer sizes exercised by the bandwidth benchmarks (subset of Fig. 7/10).
+BANDWIDTH_SIZES = (64, 512, 4096)
+
+#: Iterations per latency measurement.
+LATENCY_ITERATIONS = 3
+LATENCY_WARMUP = 1
+
+
+def run_spec(name: str, **params: object) -> ExperimentResult:
+    """Run a registered experiment through its spec (validates the overrides)."""
+    return get_spec(name).run(**params)

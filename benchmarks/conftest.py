@@ -1,23 +1,8 @@
-"""Shared configuration for the benchmark harness.
+"""Pytest configuration for the benchmark harness.
 
-Each benchmark regenerates one table or figure of the paper.  The
-simulator-backed figures use shortened warm-up/measurement windows and a
-subset of the x-axis so the whole harness finishes in minutes on a laptop;
-the full sweeps are available through ``repro-experiments`` or by calling the
-functions in :mod:`repro.experiments` with their default parameters.
+Shared constants and helpers live in :mod:`bench_params` so that benchmark
+modules can import them unambiguously (bare ``conftest`` imports resolve to
+whichever conftest.py pytest happened to load first).
 """
 
 from __future__ import annotations
-
-#: Warm-up and measurement windows (cycles) for bandwidth benchmarks.
-BENCH_WARMUP_CYCLES = 3_000
-BENCH_MEASURE_CYCLES = 8_000
-
-#: Transfer sizes exercised by the latency benchmarks (subset of Fig. 6/9).
-LATENCY_SIZES = (64, 1024, 8192)
-#: Transfer sizes exercised by the bandwidth benchmarks (subset of Fig. 7/10).
-BANDWIDTH_SIZES = (64, 512, 4096)
-
-#: Iterations per latency measurement.
-LATENCY_ITERATIONS = 3
-LATENCY_WARMUP = 1

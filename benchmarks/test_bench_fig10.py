@@ -1,13 +1,12 @@
 """Benchmark regenerating Figure 10 (asynchronous bandwidth on NOC-Out)."""
 
-from conftest import BANDWIDTH_SIZES, BENCH_MEASURE_CYCLES, BENCH_WARMUP_CYCLES
-
-from repro.experiments import run_fig7, run_fig10
+from bench_params import BANDWIDTH_SIZES, BENCH_MEASURE_CYCLES, BENCH_WARMUP_CYCLES, run_spec
 
 
 def test_bench_fig10(benchmark):
     result = benchmark.pedantic(
-        run_fig10,
+        run_spec,
+        args=("fig10",),
         kwargs={
             "sizes": BANDWIDTH_SIZES,
             "warmup_cycles": BENCH_WARMUP_CYCLES,
@@ -29,9 +28,9 @@ def test_bench_fig10_peak_below_mesh(benchmark):
     """Paper: NOC-Out's peak bandwidth is significantly below the mesh's (§6.3.1)."""
 
     def run_both():
-        nocout = run_fig10(sizes=(512,), warmup_cycles=BENCH_WARMUP_CYCLES,
-                           measure_cycles=BENCH_MEASURE_CYCLES)
-        mesh = run_fig7(sizes=(512,), warmup_cycles=BENCH_WARMUP_CYCLES,
+        nocout = run_spec("fig10", sizes=(512,), warmup_cycles=BENCH_WARMUP_CYCLES,
+                          measure_cycles=BENCH_MEASURE_CYCLES)
+        mesh = run_spec("fig7", sizes=(512,), warmup_cycles=BENCH_WARMUP_CYCLES,
                         measure_cycles=BENCH_MEASURE_CYCLES)
         return nocout, mesh
 

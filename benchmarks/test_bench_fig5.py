@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro.experiments import run_fig5
+from bench_params import run_spec
 
 
 def test_bench_fig5(benchmark):
-    result = benchmark(run_fig5)
+    result = benchmark.pedantic(run_spec, args=("fig5",), rounds=1, iterations=1)
     hops = result.column("Hops")
     assert hops == list(range(13))
     edge = result.column("NIedge overhead (%)")
@@ -16,3 +16,4 @@ def test_bench_fig5(benchmark):
     assert split[6] == pytest.approx(4.7, abs=0.3)
     assert edge[12] == pytest.approx(16.2, abs=0.5)
     assert split[12] == pytest.approx(2.6, abs=0.3)
+    assert result.metadata.experiment == "fig5"

@@ -1,13 +1,12 @@
 """Benchmark regenerating Figure 6 (synchronous remote-read latency, mesh NOC)."""
 
-from conftest import LATENCY_ITERATIONS, LATENCY_SIZES, LATENCY_WARMUP
-
-from repro.experiments import run_fig6
+from bench_params import LATENCY_ITERATIONS, LATENCY_SIZES, LATENCY_WARMUP, run_spec
 
 
 def test_bench_fig6(benchmark):
     result = benchmark.pedantic(
-        run_fig6,
+        run_spec,
+        args=("fig6",),
         kwargs={
             "sizes": LATENCY_SIZES,
             "iterations": LATENCY_ITERATIONS,

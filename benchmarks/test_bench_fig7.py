@@ -1,13 +1,12 @@
 """Benchmark regenerating Figure 7 (asynchronous remote-read bandwidth, mesh NOC)."""
 
-from conftest import BANDWIDTH_SIZES, BENCH_MEASURE_CYCLES, BENCH_WARMUP_CYCLES
-
-from repro.experiments import run_fig7
+from bench_params import BANDWIDTH_SIZES, BENCH_MEASURE_CYCLES, BENCH_WARMUP_CYCLES, run_spec
 
 
 def test_bench_fig7(benchmark):
     result = benchmark.pedantic(
-        run_fig7,
+        run_spec,
+        args=("fig7",),
         kwargs={
             "sizes": BANDWIDTH_SIZES,
             "warmup_cycles": BENCH_WARMUP_CYCLES,

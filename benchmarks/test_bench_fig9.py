@@ -1,13 +1,12 @@
 """Benchmark regenerating Figure 9 (synchronous latency on NOC-Out)."""
 
-from conftest import LATENCY_ITERATIONS, LATENCY_SIZES, LATENCY_WARMUP
-
-from repro.experiments import run_fig6, run_fig9
+from bench_params import LATENCY_ITERATIONS, LATENCY_SIZES, LATENCY_WARMUP, run_spec
 
 
 def test_bench_fig9(benchmark):
     result = benchmark.pedantic(
-        run_fig9,
+        run_spec,
+        args=("fig9",),
         kwargs={
             "sizes": LATENCY_SIZES,
             "iterations": LATENCY_ITERATIONS,
@@ -31,8 +30,10 @@ def test_bench_fig9_vs_mesh_small_transfers(benchmark):
     """NOC-Out lowers small-transfer latency relative to the mesh (§6.3.1)."""
 
     def run_both():
-        nocout = run_fig9(sizes=(64,), iterations=LATENCY_ITERATIONS, warmup=LATENCY_WARMUP)
-        mesh = run_fig6(sizes=(64,), iterations=LATENCY_ITERATIONS, warmup=LATENCY_WARMUP)
+        nocout = run_spec("fig9", sizes=(64,), iterations=LATENCY_ITERATIONS,
+                          warmup=LATENCY_WARMUP)
+        mesh = run_spec("fig6", sizes=(64,), iterations=LATENCY_ITERATIONS,
+                        warmup=LATENCY_WARMUP)
         return nocout, mesh
 
     nocout, mesh = benchmark.pedantic(run_both, rounds=1, iterations=1)

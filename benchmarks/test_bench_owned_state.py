@@ -1,11 +1,11 @@
 """Benchmark for the NI-cache owned-state ablation (§3.4)."""
 
-from repro.experiments import run_owned_state_ablation
+from bench_params import run_spec
 
 
 def test_bench_owned_state_ablation(benchmark):
     result = benchmark.pedantic(
-        run_owned_state_ablation, kwargs={"iterations": 4}, rounds=1, iterations=1
+        run_spec, args=("owned-state",), kwargs={"iterations": 4}, rounds=1, iterations=1
     )
     print()
     print(result.format())

@@ -1,17 +1,15 @@
 """Benchmark for the on-chip routing ablation (§4.3, §6.2 text)."""
 
-from conftest import BENCH_MEASURE_CYCLES, BENCH_WARMUP_CYCLES
-
-from repro.config import RoutingAlgorithm
-from repro.experiments import run_routing_ablation
+from bench_params import BENCH_MEASURE_CYCLES, BENCH_WARMUP_CYCLES, run_spec
 
 
 def test_bench_routing_ablation(benchmark):
     result = benchmark.pedantic(
-        run_routing_ablation,
+        run_spec,
+        args=("routing",),
         kwargs={
             "transfer_bytes": 2048,
-            "policies": (RoutingAlgorithm.XY, RoutingAlgorithm.CDR, RoutingAlgorithm.CDR_EXTENDED),
+            "policies": ("xy", "cdr", "cdr_extended"),
             "warmup_cycles": BENCH_WARMUP_CYCLES,
             "measure_cycles": BENCH_MEASURE_CYCLES,
         },

@@ -1,0 +1,36 @@
+"""Parallel experiment campaigns.
+
+A campaign turns declarative :class:`~repro.experiments.spec.ExperimentSpec`
+parameter grids into concrete :class:`RunRequest` objects, executes them —
+sequentially or across a :class:`concurrent.futures.ProcessPoolExecutor` —
+behind a content-hash :class:`ResultCache`, and aggregates the outcomes
+into a :class:`CampaignReport` that serializes to JSON/CSV.
+
+Typical use::
+
+    from repro.campaign import Campaign, ResultCache, expand_grid
+
+    requests = expand_grid("fig6", {"design": ["edge", "split", "per_tile"]})
+    report = Campaign(requests, cache=ResultCache(), max_workers=4).run()
+    print(report.format())
+    report.write_json("fig6_sweep.json")
+"""
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.grid import expand_grid, parse_sweep_axes
+from repro.campaign.report import CampaignEntry, CampaignReport, load_report, load_results
+from repro.campaign.request import RunRequest, execute_request
+from repro.campaign.runner import Campaign
+
+__all__ = [
+    "Campaign",
+    "CampaignEntry",
+    "CampaignReport",
+    "ResultCache",
+    "RunRequest",
+    "execute_request",
+    "expand_grid",
+    "load_report",
+    "load_results",
+    "parse_sweep_axes",
+]

@@ -1,0 +1,70 @@
+"""Content-hash result cache for campaigns.
+
+Keys are :meth:`~repro.campaign.request.RunRequest.fingerprint` hashes —
+covering the experiment name, fully resolved parameters and config
+fingerprint — so a hit is only possible for a byte-identical experiment
+input.  The cache always holds results in memory; give it a directory to
+persist them as one JSON file per fingerprint across processes/sessions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from repro.errors import ExperimentError
+from repro.campaign.request import RunRequest
+from repro.experiments.base import ExperimentResult
+
+
+class ResultCache:
+    """Maps request fingerprints to experiment results (memory + optional disk)."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        self._memory: Dict[str, ExperimentResult] = {}
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, fingerprint: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, "%s.json" % fingerprint)
+
+    def get(self, request: RunRequest) -> Optional[ExperimentResult]:
+        """The cached result for this request, or None (counts hit/miss)."""
+        fingerprint = request.fingerprint()
+        result = self._memory.get(fingerprint)
+        if result is None and self.directory is not None:
+            path = self._path(fingerprint)
+            if os.path.exists(path):
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        result = ExperimentResult.from_json(handle.read())
+                except ExperimentError:
+                    result = None  # corrupt entry: treat as a miss and overwrite later
+                else:
+                    self._memory[fingerprint] = result
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, request: RunRequest, result: ExperimentResult) -> None:
+        """Store a freshly computed result under the request's fingerprint."""
+        fingerprint = request.fingerprint()
+        self._memory[fingerprint] = result
+        if self.directory is not None:
+            with open(self._path(fingerprint), "w", encoding="utf-8") as handle:
+                handle.write(result.to_json() + "\n")
+
+    def clear(self) -> None:
+        """Drop the in-memory entries (on-disk files are left alone)."""
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0

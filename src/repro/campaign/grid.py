@@ -1,0 +1,63 @@
+"""Parameter-grid expansion for campaigns.
+
+A grid maps parameter names to the axis values they sweep; expansion takes
+the cartesian product and emits one :class:`~repro.campaign.request.RunRequest`
+per point, validating every value against the experiment's declared
+parameters up front (so a typo fails before any simulation starts).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Sequence
+
+from repro.errors import ExperimentError
+from repro.campaign.request import RunRequest
+from repro.experiments.registry import get_spec
+
+
+def expand_grid(experiment: str, axes: Mapping[str, Sequence[object]]) -> List[RunRequest]:
+    """Cartesian-product a parameter grid into concrete run requests.
+
+    ``axes`` maps parameter names to the values each axis takes, e.g.
+    ``{"design": ["edge", "split"], "hops": [1, 2]}`` expands to four
+    requests.  An empty grid yields the single all-defaults request.
+    """
+    spec = get_spec(experiment)
+    names = list(axes)
+    for name in names:
+        parameter = spec.parameter(name)
+        values = axes[name]
+        if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+            raise ExperimentError(
+                "grid axis %r must be a sequence of values, got %r" % (name, values)
+            )
+        if not values:
+            raise ExperimentError("grid axis %r has no values" % name)
+        for value in values:
+            parameter.validate(value)
+    requests = []
+    for point in itertools.product(*(axes[name] for name in names)):
+        requests.append(RunRequest(experiment, dict(zip(names, point))))
+    return requests
+
+
+def parse_sweep_axes(experiment: str, assignments: Sequence[str]) -> Dict[str, List[object]]:
+    """Parse CLI sweep axes (``param=v1,v2,...``) into a grid mapping.
+
+    Commas enumerate the axis; for repeated parameters (e.g. ``sizes``) the
+    values *within* one axis point are joined with ``:`` instead, so
+    ``sizes=64:128,256:512`` sweeps two size lists.
+    """
+    spec = get_spec(experiment)
+    axes: Dict[str, List[object]] = {}
+    for assignment in assignments:
+        name, separator, text = assignment.partition("=")
+        if not separator or not name:
+            raise ExperimentError("malformed --set %r (expected param=value[,value...])" % assignment)
+        parameter = spec.parameter(name)
+        items = [item for item in text.split(",") if item != ""]
+        if not items:
+            raise ExperimentError("sweep axis %r has no values" % name)
+        axes[name] = [parameter.parse(item, list_separator=":") for item in items]
+    return axes

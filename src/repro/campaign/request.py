@@ -1,0 +1,117 @@
+"""One executable unit of a campaign: an experiment plus parameter overrides.
+
+Requests carry only JSON-native parameter values (strings, numbers, bools,
+lists) so they pickle cleanly across process boundaries and hash stably for
+the result cache.  The content hash covers the experiment name, the fully
+resolved parameters (declared defaults merged with the overrides) and the
+config fingerprint, so a cache entry is invalidated by *any* change to the
+inputs that could change the result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import get_spec
+
+
+def _normalize(value: object) -> object:
+    """Convert a parameter value to a canonical JSON-native form."""
+    if isinstance(value, tuple):
+        value = list(value)
+    if isinstance(value, list):
+        return [_normalize(item) for item in value]
+    if hasattr(value, "value") and not isinstance(value, (int, float, str, bool)):
+        return _normalize(value.value)  # enums
+    if value is None or isinstance(value, (int, float, str, bool)):
+        return value
+    raise ExperimentError(
+        "run-request parameter value %r is not JSON-serializable" % (value,)
+    )
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """A single experiment invocation with explicit parameter overrides."""
+
+    experiment: str
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "params",
+            {name: _normalize(value) for name, value in dict(self.params).items()},
+        )
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def resolved_params(self) -> Dict[str, object]:
+        """Declared defaults merged with this request's overrides (validated)."""
+        spec = get_spec(self.experiment)
+        return {
+            name: _normalize(value)
+            for name, value in spec.resolve(self.params).items()
+        }
+
+    def canonical(self) -> str:
+        """Canonical JSON identity string (covers config fingerprint too)."""
+        spec = get_spec(self.experiment)
+        payload = {
+            "experiment": self.experiment,
+            "params": self.resolved_params(),
+            "config_fingerprint": spec.default_config().fingerprint(),
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def fingerprint(self) -> str:
+        """Short content hash used as the cache key."""
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()[:16]
+
+    def label(self) -> str:
+        """Human-readable one-liner, e.g. ``fig6[design=edge]``."""
+        if not self.params:
+            return self.experiment
+        inner = ",".join("%s=%s" % (k, _short(v)) for k, v in sorted(self.params.items()))
+        return "%s[%s]" % (self.experiment, inner)
+
+    # ------------------------------------------------------------------
+    # Serialization / execution
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {"experiment": self.experiment, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RunRequest":
+        try:
+            return cls(
+                experiment=str(payload["experiment"]),
+                params=dict(payload.get("params", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ExperimentError("malformed run-request document: %s" % exc) from None
+
+    def execute(self) -> ExperimentResult:
+        """Run the experiment through its spec (validates the overrides)."""
+        spec = get_spec(self.experiment)
+        overrides = {
+            name: tuple(value) if isinstance(value, list) else value
+            for name, value in self.params.items()
+        }
+        return spec.run(**overrides)
+
+
+def _short(value: object) -> str:
+    if isinstance(value, list):
+        return ":".join(str(item) for item in value)
+    return str(value)
+
+
+def execute_request(request: RunRequest) -> ExperimentResult:
+    """Module-level entry point so ProcessPoolExecutor workers can pickle it."""
+    return request.execute()

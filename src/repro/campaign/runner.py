@@ -1,0 +1,108 @@
+"""Campaign execution: sequential or process-pool, always cache-aware.
+
+The cache is consulted before any work is scheduled, so a fully cached
+campaign touches neither the simulator nor the pool.  Failures of single
+requests are captured per entry (as the exception text) instead of aborting
+the rest of the campaign.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.report import CampaignEntry, CampaignReport
+from repro.campaign.request import RunRequest, execute_request
+from repro.errors import ReproError
+from repro.experiments.registry import get_spec
+
+
+def _describe_error(exc: Exception) -> str:
+    if isinstance(exc, ReproError):
+        return str(exc)
+    return "%s: %s" % (type(exc).__name__, exc)
+
+
+class Campaign:
+    """A batch of run requests executed together.
+
+    ``max_workers`` > 1 fans uncached requests out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; the default runs them
+    in-process (which keeps monkeypatched/throwaway experiments usable).
+    """
+
+    def __init__(
+        self,
+        requests: Sequence[RunRequest],
+        cache: Optional[ResultCache] = None,
+        max_workers: int = 1,
+    ) -> None:
+        if max_workers < 1:
+            raise ReproError("campaign max_workers must be >= 1")
+        self.requests = list(requests)
+        self.cache = cache
+        self.max_workers = max_workers
+        for request in self.requests:
+            get_spec(request.experiment)  # fail fast on unknown experiments
+
+    def run(self) -> CampaignReport:
+        """Execute every request and aggregate the outcomes."""
+        started = time.perf_counter()
+        entries: List[CampaignEntry] = [
+            CampaignEntry(request=request) for request in self.requests
+        ]
+        pending: List[int] = []
+        for position, entry in enumerate(entries):
+            cached = self.cache.get(entry.request) if self.cache is not None else None
+            if cached is not None:
+                entry.result = cached
+                entry.cached = True
+            else:
+                pending.append(position)
+        if pending:
+            if self.max_workers > 1:
+                self._run_pool(entries, pending)
+            else:
+                self._run_inline(entries, pending)
+        for position in pending:
+            entry = entries[position]
+            if self.cache is not None and entry.ok:
+                self.cache.put(entry.request, entry.result)
+        return CampaignReport(
+            entries=entries,
+            wall_time_s=time.perf_counter() - started,
+            max_workers=self.max_workers,
+        )
+
+    def _run_inline(self, entries: List[CampaignEntry], pending: Sequence[int]) -> None:
+        for position in pending:
+            entry = entries[position]
+            run_started = time.perf_counter()
+            try:
+                entry.result = entry.request.execute()
+            except Exception as exc:  # capture per entry; see module docstring
+                entry.error = _describe_error(exc)
+            entry.wall_time_s = time.perf_counter() - run_started
+
+
+    def _run_pool(self, entries: List[CampaignEntry], pending: Sequence[int]) -> None:
+        workers = min(self.max_workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures: Dict[int, object] = {
+                position: pool.submit(execute_request, entries[position].request)
+                for position in pending
+            }
+            for position, future in futures.items():
+                entry = entries[position]
+                run_started = time.perf_counter()
+                try:
+                    entry.result = future.result()
+                except Exception as exc:  # includes BrokenProcessPool etc.
+                    entry.error = _describe_error(exc)
+                if entry.result is not None:
+                    # The worker measured the real run time; keep its stamp.
+                    entry.wall_time_s = entry.result.metadata.wall_time_s
+                else:
+                    entry.wall_time_s = time.perf_counter() - run_started

@@ -1,22 +1,45 @@
 """Command-line entry point: ``repro-experiments``.
 
-Examples::
+Subcommands::
 
-    repro-experiments --list
-    repro-experiments table1 table3 fig5
-    repro-experiments --fast
-    repro-experiments fig7 --output results.txt
+    repro-experiments list                         # available experiments + parameters
+    repro-experiments run fig7 --json              # one experiment, report JSON on stdout
+    repro-experiments run table1 fig5 --output results.txt
+    repro-experiments run --fast                   # the analytical (sub-second) subset
+    repro-experiments run fig6 --set sizes=64,4096 --set iterations=2
+    repro-experiments sweep fig6 --set design=edge,split,per_tile --parallel 4 --json out.json
+    repro-experiments report out.json --csv out.csv
+
+``run`` executes each named experiment once, with ``--set param=value``
+overrides applied where the experiment declares the parameter.  ``sweep``
+expands ``--set param=v1,v2,...`` axes into the cartesian product of runs
+for one experiment (use ``:`` inside one axis value for list-valued
+parameters, e.g. ``--set sizes=64:128,4096:8192``).  Both execute through a
+:class:`repro.campaign.Campaign` — ``--parallel N`` fans out over processes,
+``--cache-dir`` reuses results across invocations — and can emit the
+campaign report as JSON (``--json [PATH]``), merged CSV (``--csv [PATH]``)
+or plain text (default; ``--output PATH`` to also write it to a file).
+``report`` reloads a saved JSON report and re-renders it.
+
+The seed interface (``repro-experiments table1 fig5``, ``--list``,
+``--fast``) is still accepted and mapped onto the subcommands.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.experiments.runner import FAST_EXPERIMENTS, format_results, run_experiments
-from repro.experiments.registry import list_experiments
+from repro.campaign import Campaign, CampaignReport, ResultCache, expand_grid, parse_sweep_axes
+from repro.campaign.report import load_report
+from repro.campaign.request import RunRequest
+from repro.errors import ExperimentError, ReproError
+from repro.experiments.registry import get_spec, iter_specs, list_experiments
+from repro.experiments.runner import fast_experiments
 from repro.version import PAPER_TITLE, PAPER_VENUE, __version__
+
+_SUBCOMMANDS = ("run", "list", "sweep", "report")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -24,34 +47,204 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-experiments",
         description="Regenerate the tables and figures of '%s' (%s)." % (PAPER_TITLE, PAPER_VENUE),
     )
-    parser.add_argument("experiments", nargs="*",
-                        help="experiments to run (default: all); see --list")
-    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
-    parser.add_argument("--fast", action="store_true",
-                        help="run only the analytical (sub-second) experiments")
-    parser.add_argument("--output", metavar="PATH", default=None,
-                        help="also write the formatted results to PATH")
     parser.add_argument("--version", action="version", version="repro %s" % __version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list available experiments and their parameters")
+    list_parser.add_argument("--json", nargs="?", const="-", metavar="PATH", default=None,
+                             help="emit the experiment catalog as JSON (to PATH, or stdout)")
+
+    run_parser = subparsers.add_parser("run", help="run experiments once each")
+    run_parser.add_argument("experiments", nargs="*",
+                            help="experiments to run (default: all); see 'list'")
+    run_parser.add_argument("--fast", action="store_true",
+                            help="run only the analytical (sub-second) experiments")
+    _add_campaign_options(run_parser)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run one experiment over a parameter grid")
+    sweep_parser.add_argument("experiment", help="experiment to sweep; see 'list'")
+    _add_campaign_options(sweep_parser)
+
+    report_parser = subparsers.add_parser(
+        "report", help="re-render a previously saved JSON campaign report")
+    report_parser.add_argument("paths", nargs="+", metavar="PATH",
+                               help="JSON report files written by run/sweep --json")
+    report_parser.add_argument("--csv", nargs="?", const="-", metavar="PATH", default=None,
+                               help="emit merged CSV instead of plain text")
+    report_parser.add_argument("--output", metavar="PATH", default=None,
+                               help="also write the rendered text to PATH")
     return parser
 
 
+def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--set", dest="assignments", action="append", default=[],
+                        metavar="PARAM=VALUE",
+                        help="parameter override; repeatable (sweep: comma-separated axis values)")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="run up to N experiments in parallel processes")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persist/reuse results keyed by content hash in DIR")
+    parser.add_argument("--json", nargs="?", const="-", metavar="PATH", default=None,
+                        help="emit the campaign report as JSON (to PATH, or stdout)")
+    parser.add_argument("--csv", nargs="?", const="-", metavar="PATH", default=None,
+                        help="emit the campaign results as merged CSV (to PATH, or stdout)")
+    parser.add_argument("--output", metavar="PATH", default=None,
+                        help="also write the plain-text report to PATH")
+
+
+def _normalize_legacy(argv: List[str]) -> List[str]:
+    """Map the seed CLI (positional names, --list, --fast) onto subcommands."""
+    if "--list" in argv:
+        return ["list"] + [arg for arg in argv if arg != "--list"]
+    if not argv:
+        return ["run"]
+    head = argv[0]
+    if head in _SUBCOMMANDS or head in ("-h", "--help", "--version"):
+        return argv
+    return ["run"] + argv
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
     parser = build_parser()
-    args = parser.parse_args(argv)
-    if args.list:
-        for name in list_experiments():
-            print(name)
+    args = parser.parse_args(_normalize_legacy(argv))
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        return _cmd_report(args)
+    except (ReproError, OSError) as exc:
+        print("repro-experiments: error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.json is not None:
+        import json
+        catalog = [
+            {
+                "name": spec.name,
+                "title": spec.title,
+                "description": spec.description,
+                "fast": spec.fast,
+                "tags": list(spec.tags),
+                "parameters": [
+                    {
+                        "name": p.name,
+                        "type": p.kind.__name__,
+                        "repeated": p.repeated,
+                        "default": list(p.default) if isinstance(p.default, tuple) else p.default,
+                        "choices": list(p.choices) if p.choices is not None else None,
+                        "help": p.help,
+                    }
+                    for p in spec.parameters
+                ],
+            }
+            for spec in iter_specs()
+        ]
+        _emit(json.dumps(catalog, indent=2), args.json)
         return 0
-    names = args.experiments or None
+    for spec in iter_specs():
+        print(spec.describe())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = list(args.experiments)
     if args.fast and not names:
-        names = list(FAST_EXPERIMENTS)
-    results = run_experiments(names)
-    text = format_results(results)
-    print(text)
+        names = fast_experiments()
+    if not names:
+        names = list_experiments()
+    requests = []
+    matched_keys = set()
+    for name in names:
+        spec = get_spec(name)
+        declared = {parameter.name for parameter in spec.parameters}
+        overrides: Dict[str, object] = {}
+        for assignment in args.assignments:
+            key = assignment.partition("=")[0]
+            if key in declared:
+                overrides.update(spec.parse_overrides([assignment]))
+                matched_keys.add(key)
+        requests.append(RunRequest(name, overrides))
+    unmatched = [assignment for assignment in args.assignments
+                 if assignment.partition("=")[0] not in matched_keys]
+    if unmatched:
+        raise ExperimentError(
+            "--set %s matches no parameter of the selected experiment(s) %s"
+            % (", ".join(unmatched), ", ".join(names))
+        )
+    return _execute(requests, args)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    axes = parse_sweep_axes(args.experiment, args.assignments)
+    requests = expand_grid(args.experiment, axes)
+    return _execute(requests, args)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    merged = CampaignReport()
+    for path in args.paths:
+        report = load_report(path)
+        merged.entries.extend(report.entries)
+        merged.wall_time_s += report.wall_time_s
+        merged.max_workers = max(merged.max_workers, report.max_workers)
+    text = merged.format()
+    if args.csv is not None:
+        _emit(merged.to_csv(), args.csv)
+    else:
+        print(text)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
+    return 1 if merged.failed else 0
+
+
+# ----------------------------------------------------------------------
+# Shared execution/output
+# ----------------------------------------------------------------------
+def _execute(requests: List[RunRequest], args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
+    campaign = Campaign(requests, cache=cache, max_workers=args.parallel)
+    report = campaign.run()
+    wrote = False
+    if args.json is not None:
+        _emit(report.to_json(), args.json)
+        wrote = True
+    if args.csv is not None:
+        _emit(report.to_csv(), args.csv)
+        wrote = True
+    text = report.format()
+    if not wrote:
+        print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    if report.failed:
+        for entry in report.entries:
+            if not entry.ok:
+                print("repro-experiments: %s failed: %s" % (entry.request.label(), entry.error),
+                      file=sys.stderr)
+        return 1
     return 0
+
+
+def _emit(text: str, destination: str) -> None:
+    """Write text to a file, or stdout when destination is '-'."""
+    if destination == "-":
+        print(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
 
 
 if __name__ == "__main__":  # pragma: no cover

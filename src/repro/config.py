@@ -27,9 +27,11 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -51,6 +53,32 @@ class NIDesign(enum.Enum):
         """The QP-based designs (i.e. everything except the NUMA baseline)."""
         return (cls.EDGE, cls.PER_TILE, cls.SPLIT)
 
+    @classmethod
+    def coerce(cls, value: object) -> "NIDesign":
+        """Accept either an NIDesign or its string value (CLI parameters)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value))
+        except ValueError:
+            raise ConfigurationError(
+                "unknown NI design %r (expected one of %s)"
+                % (value, ", ".join(d.value for d in cls))
+            ) from None
+
+    @property
+    def label(self) -> str:
+        """The paper's display name for the design (e.g. "NIper-tile")."""
+        return _DESIGN_LABELS[self]
+
+
+_DESIGN_LABELS = {
+    NIDesign.EDGE: "NIedge",
+    NIDesign.PER_TILE: "NIper-tile",
+    NIDesign.SPLIT: "NIsplit",
+    NIDesign.NUMA: "NUMA",
+}
+
 
 class TopologyKind(enum.Enum):
     """On-chip interconnect topologies evaluated in the paper."""
@@ -71,6 +99,19 @@ class RoutingAlgorithm(enum.Enum):
     #: The paper's extension of CDR: directory-sourced traffic gets its own
     #: YX class so that it never turns at the NI/MC edge columns.
     CDR_EXTENDED = "cdr_extended"
+
+    @classmethod
+    def coerce(cls, value: object) -> "RoutingAlgorithm":
+        """Accept either a RoutingAlgorithm or its string value (CLI parameters)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value))
+        except ValueError:
+            raise ConfigurationError(
+                "unknown routing algorithm %r (expected one of %s)"
+                % (value, ", ".join(r.value for r in cls))
+            ) from None
 
 
 class MessageClass(enum.Enum):
@@ -400,6 +441,28 @@ class SystemConfig:
             * 1e9
         )
         return 2.0 * bytes_per_second / 1e9
+
+    def to_dict(self) -> Dict[str, object]:
+        """All parameters as a JSON-serializable nested dict (enums by value)."""
+        def convert(value: object) -> object:
+            if isinstance(value, enum.Enum):
+                return value.value
+            if isinstance(value, dict):
+                return {key: convert(item) for key, item in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [convert(item) for item in value]
+            return value
+        return convert(dataclasses.asdict(self))
+
+    def fingerprint(self) -> str:
+        """Short content hash identifying this exact configuration.
+
+        Two configs share a fingerprint iff every parameter (including the
+        calibration constants) is equal, which makes the fingerprint usable
+        as a cache key component for experiment results.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
     def describe(self) -> str:
         """Human-readable multi-line description (used by the Table-2 experiment)."""

@@ -1,12 +1,24 @@
 """Experiment harness: one module per table/figure of the paper's evaluation.
 
-Every experiment returns an :class:`~repro.experiments.base.ExperimentResult`
-whose rows mirror the series the paper reports; ``repro-experiments`` (the
-CLI) and the pytest-benchmark suite drive them.
+Every experiment is declared as an
+:class:`~repro.experiments.spec.ExperimentSpec` (typed parameters, defaults,
+choices) via the :func:`~repro.experiments.spec.experiment` decorator and
+returns an :class:`~repro.experiments.base.ExperimentResult` — a structured,
+JSON/CSV-serializable record whose rows mirror the series the paper
+reports.  ``repro-experiments`` (the CLI), :mod:`repro.campaign` (parallel
+parameter sweeps) and the pytest-benchmark suite drive them.
 """
 
-from repro.experiments.base import ExperimentResult
-from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.base import ExperimentResult, ResultMetadata, load_result
+from repro.experiments.spec import ExperimentSpec, Parameter, experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    get_spec,
+    iter_specs,
+    list_experiments,
+    list_specs,
+)
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
@@ -20,9 +32,17 @@ from repro.experiments.owned_state_ablation import run_owned_state_ablation
 
 __all__ = [
     "ExperimentResult",
+    "ExperimentSpec",
+    "Parameter",
+    "ResultMetadata",
     "EXPERIMENTS",
+    "experiment",
     "get_experiment",
+    "get_spec",
+    "iter_specs",
     "list_experiments",
+    "list_specs",
+    "load_result",
     "run_table1",
     "run_table2",
     "run_table3",

@@ -14,8 +14,20 @@ from typing import Optional
 from repro.analysis.projection import HopProjection
 from repro.config import NIDesign, SystemConfig
 from repro.experiments.base import ExperimentResult
+from repro.experiments.spec import Parameter, experiment
 
 
+@experiment(
+    name="fig5",
+    title="Figure 5",
+    description="Projected remote-read latency vs. intra-rack hop count.",
+    parameters=(
+        Parameter("max_hops", int, default=None,
+                  help="largest hop count to project (default: the torus diameter)"),
+    ),
+    fast=True,
+    tags=("analytical", "latency"),
+)
 def run_fig5(config: Optional[SystemConfig] = None, max_hops: Optional[int] = None) -> ExperimentResult:
     """Regenerate the Figure-5 series."""
     config = config if config is not None else SystemConfig.paper_defaults()

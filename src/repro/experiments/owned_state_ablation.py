@@ -15,9 +15,20 @@ from typing import Optional
 
 from repro.config import NIDesign, SystemConfig
 from repro.experiments.base import ExperimentResult
+from repro.experiments.spec import Parameter, experiment
 from repro.workloads.microbench import RemoteReadLatencyBenchmark
 
 
+@experiment(
+    name="owned-state",
+    title="Owned-state ablation",
+    description="Remote-read latency with the NI-cache owned state on vs. off (§3.4).",
+    parameters=(
+        Parameter("transfer_bytes", int, default=64, help="remote-read transfer size"),
+        Parameter("iterations", int, default=6, help="measured reads per variant"),
+    ),
+    tags=("simulated", "latency", "ablation"),
+)
 def run_owned_state_ablation(
     config: Optional[SystemConfig] = None,
     transfer_bytes: int = 64,

@@ -1,49 +1,56 @@
-"""Registry mapping experiment names to their runner functions."""
+"""Registry of experiment specs (and the legacy name -> callable view).
+
+Importing this module imports every experiment module, which registers its
+:class:`~repro.experiments.spec.ExperimentSpec` via the ``@experiment``
+decorator.  New code should use :func:`get_spec` / :func:`iter_specs`; the
+seed API (``EXPERIMENTS``, :func:`get_experiment`, :func:`list_experiments`)
+is kept as a thin view over the spec registry.
+"""
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from repro.errors import ExperimentError
 from repro.experiments.base import ExperimentResult
-from repro.experiments.fig5 import run_fig5
-from repro.experiments.fig6 import run_fig6
-from repro.experiments.fig7 import run_fig7
-from repro.experiments.fig9 import run_fig9
-from repro.experiments.fig10 import run_fig10
-from repro.experiments.owned_state_ablation import run_owned_state_ablation
-from repro.experiments.routing_ablation import run_routing_ablation
-from repro.experiments.table1 import run_table1
-from repro.experiments.table2 import run_table2
-from repro.experiments.table3 import run_table3
+from repro.experiments.spec import ExperimentSpec, get_spec, iter_specs, list_specs
+
+# Importing the experiment modules populates the spec registry.
+from repro.experiments import fig5 as _fig5  # noqa: F401
+from repro.experiments import fig6 as _fig6  # noqa: F401
+from repro.experiments import fig7 as _fig7  # noqa: F401
+from repro.experiments import fig9 as _fig9  # noqa: F401
+from repro.experiments import fig10 as _fig10  # noqa: F401
+from repro.experiments import owned_state_ablation as _owned  # noqa: F401
+from repro.experiments import routing_ablation as _routing  # noqa: F401
+from repro.experiments import table1 as _table1  # noqa: F401
+from repro.experiments import table2 as _table2  # noqa: F401
+from repro.experiments import table3 as _table3  # noqa: F401
 
 ExperimentRunner = Callable[..., ExperimentResult]
 
+
 #: All regenerable tables/figures, keyed by the name used on the CLI.
-EXPERIMENTS: Dict[str, ExperimentRunner] = {
-    "table1": run_table1,
-    "table2": run_table2,
-    "table3": run_table3,
-    "fig5": run_fig5,
-    "fig6": run_fig6,
-    "fig7": run_fig7,
-    "fig9": run_fig9,
-    "fig10": run_fig10,
-    "routing": run_routing_ablation,
-    "owned-state": run_owned_state_ablation,
-}
+#: Legacy view: maps each name to the raw runner callable.
+EXPERIMENTS: Dict[str, ExperimentRunner] = {spec.name: spec.runner for spec in iter_specs()}
 
 
 def list_experiments() -> List[str]:
     """Names of every registered experiment."""
-    return sorted(EXPERIMENTS)
+    return list_specs()
 
 
 def get_experiment(name: str) -> ExperimentRunner:
-    """Look up an experiment runner by name."""
-    try:
-        return EXPERIMENTS[name]
-    except KeyError:
-        raise ExperimentError(
-            "unknown experiment %r (available: %s)" % (name, ", ".join(list_experiments()))
-        ) from None
+    """Look up an experiment runner by name (legacy API; prefer get_spec)."""
+    return get_spec(name).runner
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "get_experiment",
+    "get_spec",
+    "iter_specs",
+    "list_experiments",
+    "list_specs",
+]

@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 from repro.config import NIDesign, RoutingAlgorithm, SystemConfig
 from repro.experiments.base import ExperimentResult
+from repro.experiments.spec import Parameter, experiment
 from repro.workloads.microbench import RemoteReadBandwidthBenchmark
 
 _DEFAULT_POLICIES = (
@@ -24,16 +25,36 @@ _DEFAULT_POLICIES = (
 )
 
 
+@experiment(
+    name="routing",
+    title="Routing ablation",
+    description="Application bandwidth under each on-chip routing policy (§4.3).",
+    parameters=(
+        Parameter("design", str, default=NIDesign.SPLIT.value,
+                  choices=tuple(d.value for d in NIDesign.messaging_designs()),
+                  help="messaging design to drive the NOC with"),
+        Parameter("transfer_bytes", int, default=2048, help="remote-read transfer size"),
+        Parameter("policies", str, default=tuple(p.value for p in _DEFAULT_POLICIES),
+                  repeated=True, help="routing policies to sweep"),
+        Parameter("warmup_cycles", float, default=5_000.0,
+                  help="cycles simulated before measurement starts"),
+        Parameter("measure_cycles", float, default=15_000.0,
+                  help="cycles in the measurement window"),
+    ),
+    tags=("simulated", "bandwidth", "ablation"),
+)
 def run_routing_ablation(
     config: Optional[SystemConfig] = None,
-    design: NIDesign = NIDesign.SPLIT,
+    design: object = NIDesign.SPLIT,
     transfer_bytes: int = 2048,
-    policies: Sequence[RoutingAlgorithm] = _DEFAULT_POLICIES,
+    policies: Sequence[object] = _DEFAULT_POLICIES,
     warmup_cycles: float = 5_000,
     measure_cycles: float = 15_000,
 ) -> ExperimentResult:
     """Application bandwidth under each on-chip routing policy."""
     config = config if config is not None else SystemConfig.paper_defaults()
+    design = NIDesign.coerce(design)
+    policies = tuple(RoutingAlgorithm.coerce(policy) for policy in policies)
     result = ExperimentResult(
         name="Routing ablation",
         description="Application bandwidth (GBps) of %s with %d-byte transfers under "
@@ -48,5 +69,6 @@ def run_routing_ablation(
         )
         run = bench.run(transfer_bytes)
         result.add_row(policy.value, run.application_gbps, run.noc_wire_gbps, run.max_link_utilization)
+    result.metadata.events["bandwidth_runs"] = len(policies)
     result.add_note("paper: without CDR the peak bandwidth is less than half of the CDR peak")
     return result

@@ -1,23 +1,46 @@
-"""Batch experiment runner used by the CLI."""
+"""Batch experiment runner (legacy shim over the spec registry).
+
+New code should build a :class:`repro.campaign.Campaign`; this module keeps
+the seed's ``run_experiments(names)`` / ``format_results(results)`` surface
+for callers that just want every table/figure regenerated sequentially.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Mapping, Optional
 
 from repro.experiments.base import ExperimentResult
-from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.registry import get_spec, iter_specs, list_experiments
+
+
+def fast_experiments() -> List[str]:
+    """Names of the analytical experiments that complete in well under a second."""
+    return [spec.name for spec in iter_specs() if spec.fast]
+
 
 #: Experiments that complete in well under a second (analytical only).
-FAST_EXPERIMENTS = ("table1", "table2", "table3", "fig5")
+FAST_EXPERIMENTS = tuple(fast_experiments())
 
 
-def run_experiments(names: Optional[Iterable[str]] = None) -> List[ExperimentResult]:
-    """Run the named experiments (all of them when ``names`` is None)."""
+def run_experiments(
+    names: Optional[Iterable[str]] = None,
+    overrides: Optional[Mapping[str, object]] = None,
+) -> List[ExperimentResult]:
+    """Run the named experiments (all of them when ``names`` is None).
+
+    ``overrides`` are parameter overrides applied to every selected
+    experiment that declares the parameter; unknown parameters for a given
+    experiment are skipped (they were meant for another one).
+    """
     selected = list(names) if names is not None else list_experiments()
     results = []
     for name in selected:
-        runner = get_experiment(name)
-        results.append(runner())
+        spec = get_spec(name)
+        declared = {parameter.name for parameter in spec.parameters}
+        applicable = {
+            key: value for key, value in (overrides or {}).items() if key in declared
+        }
+        results.append(spec.run(**applicable))
     return results
 
 

@@ -13,8 +13,19 @@ from typing import Optional
 from repro.analysis.breakdown import LatencyBreakdownModel
 from repro.config import SystemConfig
 from repro.experiments.base import ExperimentResult
+from repro.experiments.spec import Parameter, experiment
 
 
+@experiment(
+    name="table1",
+    title="Table 1",
+    description="Latency breakdown: QP-based remote read vs. load/store NUMA.",
+    parameters=(
+        Parameter("hops", int, default=1, help="inter-node network hops per direction"),
+    ),
+    fast=True,
+    tags=("analytical", "latency"),
+)
 def run_table1(config: Optional[SystemConfig] = None, hops: int = 1) -> ExperimentResult:
     """Regenerate Table 1."""
     config = config if config is not None else SystemConfig.paper_defaults()

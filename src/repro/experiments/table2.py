@@ -6,8 +6,16 @@ from typing import Optional
 
 from repro.config import SystemConfig
 from repro.experiments.base import ExperimentResult
+from repro.experiments.spec import experiment
 
 
+@experiment(
+    name="table2",
+    title="Table 2",
+    description="System parameters of the modelled rack-scale node.",
+    fast=True,
+    tags=("analytical",),
+)
 def run_table2(config: Optional[SystemConfig] = None) -> ExperimentResult:
     """Report the modelled system configuration (Table 2)."""
     config = config if config is not None else SystemConfig.paper_defaults()

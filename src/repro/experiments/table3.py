@@ -13,6 +13,7 @@ from typing import Optional
 from repro.analysis.breakdown import LatencyBreakdownModel
 from repro.config import NIDesign, SystemConfig
 from repro.experiments.base import ExperimentResult
+from repro.experiments.spec import Parameter, experiment
 from repro.numa.machine import NumaMachine
 from repro.workloads.microbench import RemoteReadLatencyBenchmark
 
@@ -24,6 +25,20 @@ _PAPER_TOTALS = {
 }
 
 
+@experiment(
+    name="table3",
+    title="Table 3",
+    description="Zero-load remote-read latency breakdown per NI design.",
+    parameters=(
+        Parameter("hops", int, default=1, help="inter-node network hops per direction"),
+        Parameter("simulate", bool, default=False,
+                  help="add a simulated cross-check column from the discrete-event simulator"),
+        Parameter("iterations", int, default=4,
+                  help="measured reads per design when simulate is on"),
+    ),
+    fast=True,
+    tags=("analytical", "latency"),
+)
 def run_table3(
     config: Optional[SystemConfig] = None,
     hops: int = 1,

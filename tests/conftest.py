@@ -1,25 +1,11 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite (helpers live in helpers.py)."""
 
 from __future__ import annotations
 
-import dataclasses
-
 import pytest
 
-from repro.config import CoreConfig, NIDesign, SystemConfig
-
-
-def small_config(design: NIDesign = NIDesign.SPLIT, **overrides) -> SystemConfig:
-    """A 16-core (4x4) configuration that keeps integration tests fast.
-
-    All latency calibration constants are identical to the paper
-    configuration; only the chip size shrinks.
-    """
-    base = SystemConfig.paper_defaults()
-    config = base.replace(cores=dataclasses.replace(base.cores, count=16)).with_design(design)
-    if overrides:
-        config = config.replace(**overrides)
-    return config
+from helpers import small_config
+from repro.config import NIDesign, SystemConfig
 
 
 @pytest.fixture

@@ -1,0 +1,158 @@
+"""Tests for the campaign subsystem (grid expansion, cache, parallel runs)."""
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignReport,
+    ResultCache,
+    RunRequest,
+    expand_grid,
+    load_report,
+    load_results,
+    parse_sweep_axes,
+)
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.spec import Parameter, experiment, unregister
+
+
+@pytest.fixture
+def counting_experiment():
+    """A throwaway registered experiment that counts its executions."""
+    calls = {"count": 0}
+
+    @experiment(
+        name="counting-test",
+        title="Counting",
+        description="test-only experiment",
+        parameters=(Parameter("scale", int, default=1),),
+    )
+    def run_counting(config=None, scale=1):
+        calls["count"] += 1
+        result = ExperimentResult("Counting", "test", headers=["x", "y"])
+        result.add_row(scale, scale * 2)
+        return result
+
+    yield calls
+    unregister("counting-test")
+
+
+class TestRunRequest:
+    def test_fingerprint_stable_and_param_sensitive(self):
+        base = RunRequest("table1")
+        assert base.fingerprint() == RunRequest("table1").fingerprint()
+        # An override equal to the declared default hashes like no override.
+        assert base.fingerprint() == RunRequest("table1", {"hops": 1}).fingerprint()
+        assert base.fingerprint() != RunRequest("table1", {"hops": 2}).fingerprint()
+
+    def test_params_normalized_to_json_native(self):
+        request = RunRequest("fig6", {"sizes": (64, 128)})
+        assert request.params["sizes"] == [64, 128]
+
+    def test_round_trip(self):
+        request = RunRequest("fig6", {"design": "edge", "sizes": (64,)})
+        assert RunRequest.from_dict(request.to_dict()) == request
+
+    def test_execute_validates(self):
+        with pytest.raises(ExperimentError):
+            RunRequest("table1", {"bogus": 1}).execute()
+
+
+class TestGrid:
+    def test_expand_grid_cartesian_product(self):
+        requests = expand_grid("fig6", {"design": ["edge", "split"], "hops": [1, 2]})
+        assert len(requests) == 4
+        assert {(r.params["design"], r.params["hops"]) for r in requests} == {
+            ("edge", 1), ("edge", 2), ("split", 1), ("split", 2),
+        }
+
+    def test_expand_empty_grid_is_single_default_run(self):
+        requests = expand_grid("table1", {})
+        assert requests == [RunRequest("table1")]
+
+    def test_expand_grid_validates_values(self):
+        with pytest.raises(ExperimentError):
+            expand_grid("fig6", {"design": ["edge", "bogus"]})
+        with pytest.raises(ExperimentError):
+            expand_grid("fig6", {"design": []})
+
+    def test_parse_sweep_axes(self):
+        axes = parse_sweep_axes("fig6", ["design=edge,split", "sizes=64:128,4096"])
+        assert axes["design"] == ["edge", "split"]
+        assert axes["sizes"] == [(64, 128), (4096,)]
+
+    def test_parse_sweep_axes_unknown_parameter(self):
+        with pytest.raises(ExperimentError, match="no parameter"):
+            parse_sweep_axes("fig6", ["bogus=1"])
+
+
+class TestCache:
+    def test_second_identical_run_touches_no_simulator(self, counting_experiment):
+        cache = ResultCache()
+        requests = [RunRequest("counting-test", {"scale": 3})]
+        first = Campaign(requests, cache=cache).run()
+        assert counting_experiment["count"] == 1 and first.cache_hits == 0
+        second = Campaign(requests, cache=cache).run()
+        assert counting_experiment["count"] == 1  # runner not invoked again
+        assert second.cache_hits == 1
+        assert second.results[0].column("y") == [6]
+
+    def test_different_params_miss(self, counting_experiment):
+        cache = ResultCache()
+        Campaign([RunRequest("counting-test", {"scale": 1})], cache=cache).run()
+        Campaign([RunRequest("counting-test", {"scale": 2})], cache=cache).run()
+        assert counting_experiment["count"] == 2
+
+    def test_disk_cache_survives_new_instance(self, counting_experiment, tmp_path):
+        directory = str(tmp_path / "cache")
+        request = RunRequest("counting-test", {"scale": 5})
+        Campaign([request], cache=ResultCache(directory)).run()
+        assert counting_experiment["count"] == 1
+        report = Campaign([request], cache=ResultCache(directory)).run()
+        assert counting_experiment["count"] == 1
+        assert report.cache_hits == 1 and report.results[0].column("x") == [5]
+
+
+class TestCampaign:
+    def test_sequential_run_collects_results(self):
+        report = Campaign([RunRequest("table1"), RunRequest("table3")]).run()
+        assert report.succeeded == 2 and report.failed == 0
+        assert [r.name for r in report.results] == ["Table 1", "Table 3"]
+
+    def test_unknown_experiment_fails_fast(self):
+        with pytest.raises(ExperimentError):
+            Campaign([RunRequest("fig99")])
+
+    def test_failure_captured_per_entry(self, counting_experiment):
+        # hops=0 is fine for table1, but a bogus param type fails validation
+        # at execute() time when the request is built directly.
+        report = Campaign([RunRequest("table1", {"hops": 1}),
+                           RunRequest("counting-test", {"scale": "x"})]).run()
+        assert report.succeeded == 1 and report.failed == 1
+        failing = [entry for entry in report.entries if not entry.ok]
+        assert "scale" in failing[0].error
+
+    def test_parallel_run_over_processes(self):
+        requests = expand_grid("table3", {"hops": [1, 2, 3, 4]})
+        report = Campaign(requests, max_workers=2).run()
+        assert report.succeeded == 4
+        hops_totals = {entry.request.params["hops"]: entry.result.column("Analytical cycles")
+                       for entry in report.entries}
+        # More hops means strictly larger QP-design latency.
+        assert hops_totals[2][0] > hops_totals[1][0]
+
+    def test_report_json_round_trip(self, tmp_path):
+        report = Campaign(expand_grid("table1", {"hops": [1, 2]})).run()
+        path = str(tmp_path / "report.json")
+        report.write_json(path)
+        restored = load_report(path)
+        assert restored.to_dict()["entries"] == report.to_dict()["entries"]
+        assert [r.name for r in load_results(path)] == ["Table 1", "Table 1"]
+
+    def test_report_csv_merges_param_columns(self):
+        report = Campaign(expand_grid("table1", {"hops": [1, 2]})).run()
+        lines = report.to_csv().strip().splitlines()
+        assert lines[0].startswith("experiment,hops,")
+        assert lines[1].startswith("table1,1,")
+        assert any(line.startswith("table1,2,") for line in lines)

@@ -1,27 +1,57 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface (subcommands + legacy forms)."""
+
+import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.campaign import load_report, load_results
+from repro.cli import _normalize_legacy, build_parser, main
 
 
 class TestParser:
-    def test_list_flag(self):
-        args = build_parser().parse_args(["--list"])
-        assert args.list is True
+    def test_run_collects_experiment_names(self):
+        args = build_parser().parse_args(["run", "table1", "fig5"])
+        assert args.command == "run" and args.experiments == ["table1", "fig5"]
 
-    def test_experiment_names_collected(self):
-        args = build_parser().parse_args(["table1", "fig5"])
-        assert args.experiments == ["table1", "fig5"]
+    def test_sweep_collects_assignments(self):
+        args = build_parser().parse_args(
+            ["sweep", "fig6", "--set", "design=edge,split", "--parallel", "4"])
+        assert args.experiment == "fig6"
+        assert args.assignments == ["design=edge,split"] and args.parallel == 4
+
+    def test_legacy_argv_normalization(self):
+        assert _normalize_legacy(["--list"]) == ["list"]
+        assert _normalize_legacy(["table1", "fig5"]) == ["run", "table1", "fig5"]
+        assert _normalize_legacy(["--fast"]) == ["run", "--fast"]
+        assert _normalize_legacy([]) == ["run"]
+        assert _normalize_legacy(["sweep", "fig6"]) == ["sweep", "fig6"]
 
 
-class TestMain:
+class TestList:
     def test_list_prints_experiment_names(self, capsys):
-        assert main(["--list"]) == 0
+        assert main(["list"]) == 0
         output = capsys.readouterr().out
         assert "table1" in output and "fig7" in output
 
+    def test_legacy_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_list_json_catalog(self, capsys):
+        assert main(["list", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        by_name = {item["name"]: item for item in catalog}
+        assert by_name["fig6"]["parameters"][0]["choices"] == ["edge", "per_tile", "split"]
+        assert by_name["table1"]["fast"] is True
+
+
+class TestRun:
     def test_run_named_analytical_experiments(self, capsys):
+        assert main(["run", "table1", "table3"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output and "Table 3" in output
+
+    def test_legacy_positional_names(self, capsys):
         assert main(["table1", "table3"]) == 0
         output = capsys.readouterr().out
         assert "Table 1" in output and "Table 3" in output
@@ -33,11 +63,99 @@ class TestMain:
 
     def test_output_file(self, tmp_path, capsys):
         target = tmp_path / "results.txt"
-        assert main(["table1", "--output", str(target)]) == 0
+        assert main(["run", "table1", "--output", str(target)]) == 0
         capsys.readouterr()
         assert "Table 1" in target.read_text()
 
-    def test_unknown_experiment_raises(self):
-        from repro.errors import ExperimentError
-        with pytest.raises(ExperimentError):
-            main(["not-an-experiment"])
+    def test_set_overrides_apply_to_declaring_experiments(self, capsys):
+        assert main(["run", "table1", "table2", "--set", "hops=3", "--json"]) == 0
+        report_doc = json.loads(capsys.readouterr().out)
+        params = {entry["request"]["experiment"]: entry["request"]["params"]
+                  for entry in report_doc["entries"]}
+        assert params["table1"] == {"hops": 3}
+        assert params["table2"] == {}  # table2 declares no hops parameter
+
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        assert main(["run", "table1", "--json", str(target)]) == 0
+        results = load_results(str(target))
+        assert len(results) == 1 and results[0].name == "Table 1"
+
+    def test_csv_output(self, capsys):
+        assert main(["run", "table3", "--csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("experiment,")
+        assert any(line.startswith("table3,") for line in lines[1:])
+
+    def test_unknown_experiment_reports_error(self, capsys):
+        assert main(["run", "not-an-experiment"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_bad_set_value_reports_error(self, capsys):
+        assert main(["run", "table1", "--set", "hops=x"]) == 2
+        assert "hops" in capsys.readouterr().err
+
+    def test_set_matching_no_experiment_reports_error(self, capsys):
+        assert main(["run", "table1", "--set", "bogus=1"]) == 2
+        assert "matches no parameter" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_expands_axis(self, tmp_path, capsys):
+        target = tmp_path / "sweep.json"
+        assert main(["sweep", "table1", "--set", "hops=1,2,3", "--json", str(target)]) == 0
+        report = load_report(str(target))
+        assert report.succeeded == 3
+        assert [entry.request.params["hops"] for entry in report.entries] == [1, 2, 3]
+
+    def test_sweep_results_round_trip(self, tmp_path, capsys):
+        target = tmp_path / "sweep.json"
+        assert main(["sweep", "table3", "--set", "hops=1,2", "--json", str(target)]) == 0
+        results = load_results(str(target))
+        assert len(results) == 2
+        assert results[0].column("Design") == results[1].column("Design")
+
+    def test_sweep_rejects_unknown_parameter(self, capsys):
+        assert main(["sweep", "table1", "--set", "bogus=1"]) == 2
+        assert "no parameter" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_report_rerenders_saved_json(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        assert main(["sweep", "table1", "--set", "hops=1,2", "--json", str(target)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(target)]) == 0
+        output = capsys.readouterr().out
+        assert output.count("== Table 1 ==") == 2 and "campaign:" in output
+
+    def test_report_missing_file_reports_error(self, capsys):
+        assert main(["report", "does-not-exist.json"]) == 2
+        assert "cannot read campaign report" in capsys.readouterr().err
+
+    def test_report_csv(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        assert main(["run", "table1", "--json", str(target)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(target), "--csv"]) == 0
+        assert capsys.readouterr().out.startswith("experiment,")
+
+    def test_report_csv_still_honors_output(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        text_target = tmp_path / "report.txt"
+        assert main(["run", "table1", "--json", str(target)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(target), "--csv", "-", "--output", str(text_target)]) == 0
+        capsys.readouterr()
+        assert "== Table 1 ==" in text_target.read_text()
+
+
+class TestCacheDir:
+    def test_cache_dir_reuses_results_across_invocations(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "table1", "--cache-dir", cache_dir, "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert [entry["cached"] for entry in first["entries"]] == [False]
+        assert main(["run", "table1", "--cache-dir", cache_dir, "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert [entry["cached"] for entry in second["entries"]] == [True]

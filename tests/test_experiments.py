@@ -2,9 +2,9 @@
 
 import pytest
 
-from conftest import small_config
+from helpers import small_config
 
-from repro.config import NIDesign, RoutingAlgorithm
+from repro.config import RoutingAlgorithm, SystemConfig
 from repro.errors import ExperimentError
 from repro.experiments import (
     run_fig5,
@@ -16,9 +16,10 @@ from repro.experiments import (
     run_table2,
     run_table3,
 )
-from repro.experiments.base import ExperimentResult
-from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
-from repro.experiments.runner import format_results, run_experiments
+from repro.experiments.base import ExperimentResult, ResultMetadata
+from repro.experiments.registry import EXPERIMENTS, get_experiment, get_spec, list_experiments
+from repro.experiments.runner import FAST_EXPERIMENTS, format_results, run_experiments
+from repro.experiments.spec import Parameter, experiment, unregister
 
 
 class TestResultContainer:
@@ -29,13 +30,104 @@ class TestResultContainer:
         text = result.format()
         assert "== X ==" in text and "note text" in text
 
+    def test_add_row_rejects_wrong_width(self):
+        result = ExperimentResult("X", "desc", headers=["a", "b"])
+        with pytest.raises(ExperimentError):
+            result.add_row(1)
+
     def test_column_extraction(self):
         result = ExperimentResult("X", "desc", headers=["a", "b"])
         result.add_row(1, 2)
         result.add_row(3, 4)
         assert result.column("b") == [2, 4]
-        with pytest.raises(ValueError):
+
+    def test_unknown_column_error_lists_headers(self):
+        result = ExperimentResult("X", "desc", headers=["a", "b"])
+        with pytest.raises(ExperimentError, match=r"missing.*'a', 'b'"):
             result.column("missing")
+
+    def test_units_derived_from_headers(self):
+        result = ExperimentResult("X", "desc", headers=["Transfer (B)", "Latency (ns)", "Design"])
+        assert result.unit("Transfer (B)") == "B"
+        assert result.unit("Latency (ns)") == "ns"
+        assert result.unit("Design") is None
+
+    def test_json_round_trip(self):
+        result = ExperimentResult("X", "desc", headers=["a (ns)", "b"])
+        result.add_row(1, "s")
+        result.add_row(2.5, "t")
+        result.add_note("n")
+        result.metadata = ResultMetadata(
+            experiment="x", params={"k": [1, 2]}, config_fingerprint="abc",
+            wall_time_s=0.25, row_count=2, events={"runs": 2},
+        )
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.to_dict() == result.to_dict()
+        assert restored.column("a (ns)") == [1, 2.5]
+        assert restored.metadata.events == {"runs": 2}
+
+    def test_csv_export(self):
+        result = ExperimentResult("X", "desc", headers=["a", "b"])
+        result.add_row(1, 2)
+        lines = result.to_csv().strip().splitlines()
+        assert lines == ["a,b", "1,2"]
+
+
+class TestSpec:
+    def test_every_experiment_has_a_spec(self):
+        for name in list_experiments():
+            spec = get_spec(name)
+            assert spec.name == name and callable(spec.runner)
+
+    def test_run_stamps_metadata(self):
+        result = get_spec("table1").run()
+        assert result.metadata.experiment == "table1"
+        assert result.metadata.params == {"hops": 1}
+        assert result.metadata.config_fingerprint == SystemConfig.paper_defaults().fingerprint()
+        assert result.metadata.row_count == len(result.rows)
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ExperimentError, match="no parameter"):
+            get_spec("table1").run(bogus=3)
+
+    def test_choice_validation(self):
+        with pytest.raises(ExperimentError, match="must be one of"):
+            get_spec("fig6").resolve({"design": "numa"})
+
+    def test_type_validation(self):
+        with pytest.raises(ExperimentError, match="expects a int"):
+            get_spec("fig6").resolve({"hops": "two"})
+
+    def test_parse_overrides_set_syntax(self):
+        spec = get_spec("fig6")
+        overrides = spec.parse_overrides(["sizes=64,4096", "design=edge", "iterations=2"])
+        assert overrides == {"sizes": (64, 4096), "design": "edge", "iterations": 2}
+
+    def test_parse_overrides_bool(self):
+        spec = get_spec("table3")
+        assert spec.parse_overrides(["simulate=true"]) == {"simulate": True}
+        assert spec.parse_overrides(["simulate=0"]) == {"simulate": False}
+
+    def test_malformed_set_rejected(self):
+        with pytest.raises(ExperimentError, match="param=value"):
+            get_spec("fig6").parse_overrides(["sizes"])
+
+    def test_duplicate_registration_rejected(self):
+        def runner(config=None):
+            return ExperimentResult("d", "", headers=[])
+        try:
+            experiment(name="dup-test", title="d", description="")(runner)
+            with pytest.raises(ExperimentError, match="already registered"):
+                experiment(name="dup-test", title="d", description="")(runner)
+        finally:
+            unregister("dup-test")
+
+    def test_parameter_parse_repeated(self):
+        parameter = Parameter("sizes", int, default=(), repeated=True)
+        assert parameter.parse("64,128") == (64, 128)
+        assert parameter.parse("64:128", list_separator=":") == (64, 128)
+        with pytest.raises(ExperimentError):
+            parameter.parse("64,oops")
 
 
 class TestAnalyticalExperiments:
@@ -74,6 +166,27 @@ class TestSimulatedExperiments:
         numa = result.column("NUMA projection (ns)")
         assert edge[0] > split[0] > numa[0]
 
+    def test_fig6_default_columns_keep_paper_order(self):
+        result = run_fig6(config=small_config(), sizes=(64,), iterations=1, warmup=0)
+        assert list(result.headers) == [
+            "Transfer (B)", "NIedge (ns)", "NIsplit (ns)", "NIper-tile (ns)",
+            "NUMA projection (ns)",
+        ]
+
+    def test_fig9_fingerprint_matches_effective_config(self):
+        config = small_config()
+        result = get_spec("fig9").run(config=config, sizes=(64,), iterations=1, warmup=0)
+        merged = SystemConfig.noc_out_defaults().replace(
+            calibration=config.calibration, ni=config.ni, rack=config.rack
+        )
+        assert result.metadata.config_fingerprint == merged.fingerprint()
+        assert result.metadata.config_fingerprint != config.fingerprint()
+
+    def test_fig6_single_design_restricts_columns(self):
+        result = run_fig6(config=small_config(), design="edge", sizes=(64,),
+                          iterations=1, warmup=0)
+        assert list(result.headers) == ["Transfer (B)", "NIedge (ns)", "NUMA projection (ns)"]
+
     def test_fig7_small_sweep_runs(self):
         result = run_fig7(config=small_config(), sizes=(512,), warmup_cycles=500, measure_cycles=2000)
         assert len(result.rows) == 1
@@ -96,6 +209,16 @@ class TestSimulatedExperiments:
         assert result.column("Routing") == ["xy", "cdr_extended"]
         assert all(value > 0 for value in result.column("Application (GBps)"))
 
+    def test_routing_ablation_accepts_string_policies(self):
+        result = run_routing_ablation(
+            config=small_config(),
+            transfer_bytes=512,
+            policies=("xy",),
+            warmup_cycles=500,
+            measure_cycles=1500,
+        )
+        assert result.column("Routing") == ["xy"]
+
     def test_owned_state_ablation_shows_a_penalty(self):
         result = run_owned_state_ablation(config=small_config(), iterations=2)
         rows = {(row[0], row[1]): row[2] for row in result.rows}
@@ -115,7 +238,19 @@ class TestRegistry:
     def test_registry_values_are_callable(self):
         assert all(callable(runner) for runner in EXPERIMENTS.values())
 
+    def test_legacy_runner_attribute_matches_spec(self):
+        assert get_experiment("fig6") is get_spec("fig6").runner
+        assert run_fig6.spec is get_spec("fig6")
+
     def test_runner_formats_fast_experiments(self):
         results = run_experiments(["table1", "fig5"])
         text = format_results(results)
         assert "Table 1" in text and "Figure 5" in text
+
+    def test_fast_experiments_are_analytical(self):
+        assert set(FAST_EXPERIMENTS) == {"table1", "table2", "table3", "fig5"}
+
+    def test_run_experiments_applies_applicable_overrides(self):
+        results = run_experiments(["table1", "table3"], overrides={"hops": 2, "simulate": False})
+        assert results[0].metadata.params["hops"] == 2
+        assert results[1].metadata.params["hops"] == 2

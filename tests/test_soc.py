@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import small_config
+from helpers import small_config
 
 from repro.config import NIDesign
 from repro.core.edge import NIEdgeDesign
