@@ -1,0 +1,144 @@
+"""Microbenchmarks of the simulation core, recording a JSON perf baseline.
+
+Unlike the figure benchmarks (which regenerate paper results), these measure
+the *simulator itself*: raw event-kernel throughput and packet injection
+through the mesh NOC fabric.  Each run writes a machine-readable baseline
+(``perf_baseline.json`` next to this file, or ``$PERF_BASELINE_PATH``) so
+future optimisation PRs have a trajectory to compare against; see the
+"Performance methodology" section of the README for the format.
+
+The assertions are deliberately loose sanity checks (rates must be positive
+and the workloads must complete) — regressions are judged from the recorded
+baselines, not by gating thresholds that would flake across machines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import pytest
+
+from repro.config import MessageClass, SystemConfig
+from repro.noc.fabric import NocFabric
+from repro.noc.mesh import MeshTopology
+from repro.sim import perf
+from repro.sim.engine import Simulator
+
+#: Events executed by the pure-kernel benchmark.
+KERNEL_EVENTS = 200_000
+#: Packets injected by the NOC fast-path benchmark.
+INJECTED_PACKETS = 40_000
+
+BASELINE_SCHEMA = "repro-perf-baseline/1"
+
+
+def _baseline_path() -> str:
+    return os.environ.get(
+        "PERF_BASELINE_PATH",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "perf_baseline.json"),
+    )
+
+
+def _record(name: str, payload: dict) -> None:
+    """Merge one benchmark's counters into the baseline file.
+
+    Read-merge-write (rather than a module-global accumulated dict) keeps the
+    file complete when tests are selected individually or split across
+    pytest-xdist workers.
+    """
+    benchmarks: dict = {}
+    path = _baseline_path()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if existing.get("schema") == BASELINE_SCHEMA:
+            benchmarks = dict(existing.get("benchmarks", {}))
+    except (OSError, ValueError):
+        pass
+    benchmarks[name] = payload
+    document = {
+        "schema": BASELINE_SCHEMA,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": benchmarks,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
+def test_bench_event_kernel():
+    """Self-rescheduling callback chains: pure heap push/pop/dispatch cost."""
+    sim = Simulator()
+    remaining = [KERNEL_EVENTS]  # shared budget across all chains
+
+    def tick():
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule(1, tick)
+
+    chains = 64
+    started = time.perf_counter()
+    for _ in range(chains):
+        sim.schedule(1, tick)
+    sim.run()
+    wall = time.perf_counter() - started
+    assert sim.events_executed >= KERNEL_EVENTS
+    events_per_s = sim.events_executed / wall
+    assert events_per_s > 0
+    _record("event_kernel", {
+        "events": sim.events_executed,
+        "wall_s": wall,
+        "events_per_s": events_per_s,
+        "peak_pending_events": sim.peak_pending_events,
+    })
+    print("\nevent kernel: %.0f events/s (%d events in %.3f s)"
+          % (events_per_s, sim.events_executed, wall))
+
+
+def test_bench_packet_injection():
+    """Deterministic all-to-all packet mix on the 8x8 mesh (CDR-extended)."""
+    config = SystemConfig.paper_defaults()
+    classes = list(MessageClass)
+    with perf.session() as session:
+        sim = Simulator()
+        topology = MeshTopology(8, config.noc)
+        fabric = NocFabric(sim, topology, config.noc)
+        for i in range(INJECTED_PACKETS):
+            src = topology.tile_coord(i % 64)
+            dst = topology.tile_coord((i * 7 + 13) % 64)
+            fabric.send(src, dst, 64 * (1 + i % 4), classes[i % len(classes)])
+            if i % 64 == 63:
+                sim.run()
+        sim.run()
+    assert fabric.packets_delivered == INJECTED_PACKETS
+    assert session.packets_per_s > 0
+    _record("packet_injection", {
+        "packets": session.packets,
+        "events": session.events,
+        "wall_s": session.wall_s,
+        "packets_per_s": session.packets_per_s,
+        "events_per_s": session.events_per_s,
+        "peak_pending_events": session.peak_pending_events,
+        "route_cache_entries": len(fabric._bound_routes),
+    })
+    print("\npacket injection: %.0f packets/s, %.0f events/s (%d packets in %.3f s)"
+          % (session.packets_per_s, session.events_per_s, session.packets, session.wall_s))
+
+
+def test_baseline_file_is_valid_json():
+    """A written baseline must round-trip and carry sane counters."""
+    path = _baseline_path()
+    if not os.path.exists(path):
+        pytest.skip("no baseline written yet (benchmarks not run)")
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    assert document["schema"] == BASELINE_SCHEMA
+    assert document["benchmarks"]
+    for counters in document["benchmarks"].values():
+        assert counters["wall_s"] > 0
+        assert counters["events_per_s"] > 0

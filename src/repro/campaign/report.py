@@ -83,6 +83,36 @@ class CampaignReport:
     def cache_hits(self) -> int:
         return sum(1 for entry in self.entries if entry.cached)
 
+    @property
+    def simulated_events(self) -> int:
+        """Simulation events executed across all non-cached successful runs."""
+        return int(sum(
+            entry.result.metadata.perf.get("events", 0.0)
+            for entry in self.entries
+            if entry.ok and not entry.cached
+        ))
+
+    @property
+    def simulation_wall_s(self) -> float:
+        """Wall seconds the simulators of non-cached successful runs consumed."""
+        return sum(
+            entry.result.metadata.perf.get("wall_s", 0.0)
+            for entry in self.entries
+            if entry.ok and not entry.cached
+        )
+
+    @property
+    def warnings(self) -> List[str]:
+        """Measurement-quality warnings gathered from every successful result."""
+        collected: List[str] = []
+        for entry in self.entries:
+            if entry.ok:
+                collected.extend(
+                    "%s: %s" % (entry.request.label(), warning)
+                    for warning in entry.result.metadata.warnings
+                )
+        return collected
+
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
@@ -92,16 +122,25 @@ class CampaignReport:
         for entry in self.entries:
             if not entry.ok:
                 parts.append("!! %s failed: %s" % (entry.request.label(), entry.error))
+        warnings = self.warnings
+        if warnings:
+            parts.append("\n".join("warning: %s" % warning for warning in warnings))
         parts.append(self.summary())
         return "\n\n".join(parts)
 
     def summary(self) -> str:
-        return (
+        line = (
             "campaign: %d run(s), %d ok, %d failed, %d cache hit(s), "
             "%.2f s wall time, %d worker(s)"
             % (len(self.entries), self.succeeded, self.failed, self.cache_hits,
                self.wall_time_s, self.max_workers)
         )
+        events = self.simulated_events
+        if events:
+            sim_wall = self.simulation_wall_s
+            rate = events / sim_wall if sim_wall > 0 else 0.0
+            line += "; %d simulated event(s) @ %.0f events/s" % (events, rate)
+        return line
 
     # ------------------------------------------------------------------
     # Serialization

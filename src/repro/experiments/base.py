@@ -41,6 +41,12 @@ class ResultMetadata:
     row_count: int = 0
     #: Optional named event counters (simulated runs, measured samples, ...).
     events: Dict[str, int] = field(default_factory=dict)
+    #: Simulation-performance counters (events/sec, packets/sec, peak heap
+    #: size) sampled over the run; empty for analytical experiments.
+    perf: Dict[str, float] = field(default_factory=dict)
+    #: Measurement-quality warnings (e.g. a windowed metric that hit its
+    #: window budget without converging).
+    warnings: List[str] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -50,6 +56,8 @@ class ResultMetadata:
             "wall_time_s": self.wall_time_s,
             "row_count": self.row_count,
             "events": dict(self.events),
+            "perf": dict(self.perf),
+            "warnings": list(self.warnings),
         }
 
     @classmethod
@@ -61,6 +69,8 @@ class ResultMetadata:
             wall_time_s=float(payload.get("wall_time_s", 0.0)),
             row_count=int(payload.get("row_count", 0)),
             events={str(k): int(v) for k, v in dict(payload.get("events", {})).items()},
+            perf={str(k): float(v) for k, v in dict(payload.get("perf", {})).items()},
+            warnings=[str(w) for w in payload.get("warnings", [])],
         )
 
 

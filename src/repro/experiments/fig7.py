@@ -37,6 +37,15 @@ FIG7_SIZES = (64, 128, 256, 512, 1024, 2048, 4096, 8192)
                   help="cycles simulated before measurement starts"),
         Parameter("measure_cycles", float, default=15_000.0,
                   help="cycles in the measurement window"),
+        Parameter("converge", bool, default=False,
+                  help="measure window after window until the bandwidth converges "
+                       "(the paper's §5 methodology) instead of one fixed window"),
+        Parameter("max_windows", int, default=8,
+                  help="window budget when converging; running out is flagged as a "
+                       "measurement warning"),
+        Parameter("tolerance", float, default=0.01,
+                  help="relative window-to-window change below which the metric "
+                       "counts as converged"),
     ),
     tags=("simulated", "bandwidth", "mesh"),
 )
@@ -46,6 +55,9 @@ def run_fig7(
     sizes: Sequence[int] = FIG7_SIZES,
     warmup_cycles: float = 5_000,
     measure_cycles: float = 15_000,
+    converge: bool = False,
+    max_windows: int = 8,
+    tolerance: float = 0.01,
 ) -> ExperimentResult:
     """Regenerate the Figure-7 bandwidth sweep using the discrete-event simulator."""
     config = config if config is not None else SystemConfig.paper_defaults()
@@ -68,12 +80,19 @@ def run_fig7(
             config.with_design(d),
             warmup_cycles=warmup_cycles,
             measure_cycles=measure_cycles,
+            converge=converge,
+            max_windows=max_windows,
+            tolerance=tolerance,
         )
         for size in sizes:
             run = bench.run(size)
             bandwidth[(d, size)] = run.application_gbps
             if d is wire_design:
                 wire[size] = run.noc_wire_gbps
+            if run.convergence_warning:
+                result.metadata.warnings.append(
+                    "%s, %d B: %s" % (d.label, size, run.convergence_warning)
+                )
     for size in sizes:
         result.add_row(
             size,

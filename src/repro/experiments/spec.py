@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, TYP
 
 from repro.config import SystemConfig
 from repro.errors import ExperimentError
+from repro.sim import perf as sim_perf
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (base imports nothing from here)
     from repro.experiments.base import ExperimentResult
@@ -209,9 +210,14 @@ class ExperimentSpec:
         """Run the experiment with validated parameters and stamp metadata."""
         params = self.resolve(overrides)
         started = time.perf_counter()
-        result = self.runner(config=config, **params)
+        with sim_perf.session() as perf_session:
+            result = self.runner(config=config, **params)
         elapsed = time.perf_counter() - started
         result.metadata.experiment = self.name
+        if perf_session.events:
+            # Analytical experiments execute no simulation events; leave their
+            # perf block empty instead of reporting a meaningless 0-rate.
+            result.metadata.perf = perf_session.summary()
         result.metadata.params = _jsonable_params(params)
         if not result.metadata.config_fingerprint:
             # Runners that derive a different effective config (e.g. fig9's

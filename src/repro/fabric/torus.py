@@ -9,7 +9,7 @@ respectively for 512 nodes).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.config import RackConfig
 from repro.errors import TopologyError
@@ -24,6 +24,15 @@ class Torus3D:
         if len(dims) != 3 or any(d <= 0 for d in dims):
             raise TopologyError("torus dimensions must be three positive integers")
         self.dims = tuple(dims)
+        # Route/distance caches: node-id -> coordinate (precomputed; node
+        # fan-out is at most a few thousand) and (src, dst) -> hop count
+        # (filled on demand by :meth:`hop_count`).
+        dx, dy, _ = self.dims
+        self._coords: List[Coord3] = [
+            (node % dx, (node // dx) % dy, node // (dx * dy))
+            for node in range(self.node_count)
+        ]
+        self._hop_cache: Dict[Tuple[int, int], int] = {}
 
     @classmethod
     def from_config(cls, rack: RackConfig) -> "Torus3D":
@@ -41,11 +50,7 @@ class Torus3D:
         """Coordinates of ``node_id`` (x fastest-varying)."""
         if not 0 <= node_id < self.node_count:
             raise TopologyError("node %d outside a %d-node torus" % (node_id, self.node_count))
-        dx, dy, dz = self.dims
-        x = node_id % dx
-        y = (node_id // dx) % dy
-        z = node_id // (dx * dy)
-        return (x, y, z)
+        return self._coords[node_id]
 
     def node_id(self, coord: Coord3) -> int:
         """Inverse of :meth:`coord`."""
@@ -67,9 +72,15 @@ class Torus3D:
         return min(direct, size - direct)
 
     def hop_count(self, src: int, dst: int) -> int:
-        """Minimal hop count between two nodes (wrap-around links used)."""
+        """Minimal hop count between two nodes (wrap-around links used, memoized)."""
+        key = (src, dst)
+        cached = self._hop_cache.get(key)
+        if cached is not None:
+            return cached
         sc, dc = self.coord(src), self.coord(dst)
-        return sum(self._ring_distance(s, d, n) for s, d, n in zip(sc, dc, self.dims))
+        hops = sum(self._ring_distance(s, d, n) for s, d, n in zip(sc, dc, self.dims))
+        self._hop_cache[key] = hops
+        return hops
 
     def neighbors(self, node_id: int) -> List[int]:
         """The (up to) six torus neighbours of a node."""

@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, Hashable, Optional, Sequence, Tuple
 from repro.config import MessageClass, NocConfig
 from repro.noc.packet import Packet
 from repro.noc.topology import Link, Topology
+from repro.sim import perf
 from repro.sim.engine import Simulator
 from repro.sim.resource import Channel
 
@@ -36,6 +37,10 @@ class NocFabric:
         self.config = noc_config
         self.link_bytes = noc_config.link_bytes
         self._channels: Dict[Tuple[Hashable, Hashable], Channel] = {}
+        # Channel-bound route cache: route_cache_key -> tuple of
+        # (channel, hop_cycles, crosses_bisection) hops, so the per-hop fast
+        # path does no topology or channel-dict lookups.
+        self._bound_routes: Dict[Hashable, Tuple[Tuple[Channel, int, bool], ...]] = {}
         # Statistics
         self.packets_sent = 0
         self.packets_delivered = 0
@@ -44,6 +49,13 @@ class NocFabric:
         self.bytes_by_class: Dict[MessageClass, int] = {cls: 0 for cls in MessageClass}
         self._bisection_keys = self._compute_bisection_keys()
         self.bisection_bytes = 0
+        self._perf = perf.register_fabric(self)
+
+    @property
+    def lifetime_packets_sent(self) -> int:
+        """Like :attr:`packets_sent` but never zeroed by :meth:`reset_stats`
+        (performance instrumentation needs a whole-run injection count)."""
+        return self._perf.packets
 
     # ------------------------------------------------------------------
     # Public API
@@ -67,17 +79,19 @@ class NocFabric:
             created_at=self.sim.now,
         )
         self.packets_sent += 1
-        wire = packet.wire_bytes(self.link_bytes)
+        self._perf.packets += 1
+        flits = packet.flits(self.link_bytes)
+        wire = flits * self.link_bytes
         self.wire_bytes_sent += wire
         self.bytes_by_class[msg_class] += wire
         if src == dst:
             self.sim.schedule(self.LOCAL_DELIVERY_CYCLES, self._deliver, packet, callback)
             return packet
-        links = list(self.topology.route(src, dst, msg_class, packet.packet_id))
-        if not links:
+        hops = self._bound_route(src, dst, msg_class, packet.packet_id)
+        if not hops:
             self.sim.schedule(self.LOCAL_DELIVERY_CYCLES, self._deliver, packet, callback)
             return packet
-        self._hop(packet, links, 0, callback)
+        self._hop(packet, hops, 0, flits, wire, callback)
         return packet
 
     def zero_load_latency(self, src: Hashable, dst: Hashable, payload_bytes: int,
@@ -85,7 +99,7 @@ class NocFabric:
         """Latency of a packet on an otherwise idle NOC (no queuing)."""
         if src == dst:
             return float(self.LOCAL_DELIVERY_CYCLES)
-        links = self.topology.route(src, dst, msg_class)
+        links = self.topology.route_cached(src, dst, msg_class)
         if not links:
             return float(self.LOCAL_DELIVERY_CYCLES)
         head = sum(link.hop_cycles for link in links)
@@ -119,6 +133,16 @@ class NocFabric:
             return 0.0
         return max(channel.utilization() for channel in self._channels.values())
 
+    def clear_route_cache(self) -> None:
+        """Drop the channel-bound routes and the topology's memoized routes.
+
+        Anything that mutates routing-relevant topology state must call this
+        (not just ``topology.clear_route_cache()``): the fabric never consults
+        the topology again for a key it has already bound.
+        """
+        self._bound_routes.clear()
+        self.topology.clear_route_cache()
+
     def reset_stats(self) -> None:
         """Zero all counters (used at the end of the warm-up phase)."""
         self.packets_sent = 0
@@ -141,22 +165,47 @@ class NocFabric:
             self._channels[link.key] = channel
         return channel
 
-    def _hop(self, packet: Packet, links: Sequence[Link], index: int,
-             callback: Optional[DeliveryCallback]) -> None:
-        if index >= len(links):
-            self._deliver(packet, callback)
-            return
-        link = links[index]
-        channel = self._channel(link)
-        flit_cycles = packet.flits(self.link_bytes)
-        grant = channel.acquire(flit_cycles)
-        channel.bytes_transferred += packet.wire_bytes(self.link_bytes)
-        if link.key in self._bisection_keys:
-            self.bisection_bytes += packet.wire_bytes(self.link_bytes)
-        arrival = grant + link.hop_cycles
-        if index == len(links) - 1:
-            arrival += flit_cycles - 1
-        self.sim.schedule(arrival - self.sim.now, self._hop, packet, links, index + 1, callback)
+    def _bind_links(self, links: Sequence[Link]) -> Tuple[Tuple[Channel, int, bool], ...]:
+        """Resolve each link of a route to its channel once."""
+        return tuple(
+            (self._channel(link), link.hop_cycles, link.key in self._bisection_keys)
+            for link in links
+        )
+
+    def _bound_route(
+        self, src: Hashable, dst: Hashable, msg_class: MessageClass, packet_id: int
+    ) -> Tuple[Tuple[Channel, int, bool], ...]:
+        """The channel-bound route for a packet, cached when the topology allows.
+
+        Uncacheable routes (topologies without a :meth:`Topology.route_cache_key`)
+        fall back to binding per packet, which matches the pre-cache behaviour.
+        """
+        key = self.topology.route_cache_key(src, dst, msg_class, packet_id)
+        if key is None:
+            return self._bind_links(self.topology.route(src, dst, msg_class, packet_id))
+        bound = self._bound_routes.get(key)
+        if bound is None:
+            bound = self._bind_links(self.topology.route_cached(src, dst, msg_class, packet_id))
+            self._bound_routes[key] = bound
+        return bound
+
+    def _hop(self, packet: Packet, hops: Sequence[Tuple[Channel, int, bool]], index: int,
+             flits: int, wire: int, callback: Optional[DeliveryCallback]) -> None:
+        channel, hop_cycles, crosses_bisection = hops[index]
+        grant = channel.acquire(flits)
+        channel.bytes_transferred += wire
+        if crosses_bisection:
+            self.bisection_bytes += wire
+        arrival = grant + hop_cycles
+        index += 1
+        sim = self.sim
+        if index == len(hops):
+            # Final hop: the tail arrives flits-1 cycles after the head, and
+            # the completion event delivers directly (no pass through _hop).
+            sim.schedule(arrival + flits - 1 - sim._now, self._deliver, packet, callback)
+        else:
+            sim.schedule(arrival - sim._now, self._hop, packet, hops, index, flits, wire,
+                         callback)
 
     def _deliver(self, packet: Packet, callback: Optional[DeliveryCallback]) -> None:
         packet.delivered_at = self.sim.now

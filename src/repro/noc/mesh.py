@@ -7,11 +7,16 @@ column ``side - 1`` is the memory-controller edge (§4.3, Fig. 2).
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, List, Sequence, Tuple
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import MessageClass, NocConfig, RoutingAlgorithm
 from repro.errors import TopologyError
-from repro.noc.routing import manhattan_distance, mesh_route
+from repro.noc.routing import (
+    manhattan_distance,
+    mesh_route,
+    o1turn_orientation,
+    route_class_direction,
+)
 from repro.noc.topology import Link, Topology, build_path_links
 
 Coord = Tuple[int, int]
@@ -28,6 +33,17 @@ class MeshTopology(Topology):
         self.hop_cycles = noc_config.mesh_hop_cycles
         self._nodes = [(x, y) for y in range(side) for x in range(side)]
         self._node_set = set(self._nodes)
+        # Message class -> fixed dimension order, precomputed for the
+        # deterministic algorithms (None for O1Turn, whose orientation is
+        # per-packet).  Keyed lookups keep route_cache_key off the
+        # route_class_direction call chain on the per-packet path.
+        if noc_config.routing is RoutingAlgorithm.O1TURN:
+            self._class_directions = None
+        else:
+            self._class_directions = {
+                cls: route_class_direction(noc_config.routing, cls)
+                for cls in MessageClass
+            }
 
     # ------------------------------------------------------------------
     # Topology interface
@@ -46,6 +62,25 @@ class MeshTopology(Topology):
         self._check(dst)
         path = mesh_route(self.config.routing, src, dst, msg_class, packet_id)
         return build_path_links(list(path), self.hop_cycles)
+
+    def route_cache_key(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        msg_class: MessageClass,
+        packet_id: int = 0,
+    ) -> Optional[Hashable]:
+        """Memoize per ``(src, dst, dimension order)``.
+
+        XY/YX/CDR/CDR_EXTENDED resolve to a fixed dimension order per message
+        class, so the class collapses into the direction; O1Turn picks a
+        per-packet orientation, which keys the cache so that both orientations
+        of a node pair are cached side by side.
+        """
+        directions = self._class_directions
+        if directions is not None:
+            return (src, dst, directions[msg_class])
+        return (src, dst, o1turn_orientation(src, dst, packet_id))
 
     def hop_count(self, src: Coord, dst: Coord) -> int:
         self._check(src)

@@ -20,7 +20,7 @@ Node identifiers
 from __future__ import annotations
 
 import math
-from typing import Hashable, Iterable, List, Sequence, Tuple
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import MessageClass, NocConfig
 from repro.errors import TopologyError
@@ -105,8 +105,18 @@ class NocOutTopology(Topology):
             links.append(Link(position, dst, self.tree_hop_cycles))
         return links
 
+    def route_cache_key(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        msg_class: MessageClass,
+        packet_id: int = 0,
+    ) -> Optional[Hashable]:
+        """NOC-Out routes depend only on the endpoints (no class routing)."""
+        return (src, dst)
+
     def hop_count(self, src: Hashable, dst: Hashable) -> int:
-        return len(self.route(src, dst, MessageClass.MEMORY_REQUEST))
+        return len(self.route_cached(src, dst, MessageClass.MEMORY_REQUEST))
 
     # ------------------------------------------------------------------
     # Helpers

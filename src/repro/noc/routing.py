@@ -9,8 +9,12 @@ Policies
 --------
 * **XY** — dimension-order, X first.
 * **YX** — dimension-order, Y first.
-* **O1Turn** — each packet picks XY or YX (here: by packet id parity), which
-  balances the two dimension orders [Seo et al.].
+* **O1Turn** — each packet picks XY or YX (here: by a deterministic hash of
+  ``(src, dst, packet_id)``), which balances the two dimension orders
+  [Seo et al.].  Hashing instead of packet-id parity matters because the
+  packet-id counter is global: workloads that interleave two traffic classes
+  hand each class packet ids of a single parity, which would pin every packet
+  of a class to the same orientation.
 * **CDR** — class-based deterministic routing [Abts et al.]: memory requests
   route YX so they spread over the column links before turning into the MC
   column; responses route XY.
@@ -54,9 +58,31 @@ def yx_path(src: Coord, dst: Coord) -> List[Coord]:
     return path
 
 
+def o1turn_orientation(src: Coord, dst: Coord, packet_id: int) -> str:
+    """The dimension order ('xy' or 'yx') an O1Turn packet uses.
+
+    A multiply-xorshift mix of ``(src, dst, packet_id)`` rather than plain
+    packet-id parity: the global packet-id counter gives interleaved traffic
+    classes ids of a single parity, and Python's ``hash()`` is unsuitable
+    because stability across processes is required for cached/uncached route
+    equivalence.
+    """
+    h = (
+        (packet_id * 0x9E3779B1)
+        ^ (src[0] * 0x85EBCA6B)
+        ^ (src[1] * 0xC2B2AE35)
+        ^ (dst[0] * 0x27D4EB2F)
+        ^ (dst[1] * 0x165667B1)
+    ) & 0xFFFFFFFF
+    h ^= h >> 16
+    h = (h * 0x45D9F3B) & 0xFFFFFFFF
+    h ^= h >> 16
+    return "xy" if h & 1 == 0 else "yx"
+
+
 def o1turn_path(src: Coord, dst: Coord, packet_id: int) -> List[Coord]:
-    """O1Turn: alternate between XY and YX per packet."""
-    if packet_id % 2 == 0:
+    """O1Turn: each packet picks one of the two dimension orders."""
+    if o1turn_orientation(src, dst, packet_id) == "xy":
         return xy_path(src, dst)
     return yx_path(src, dst)
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Hashable, Iterable, List, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import MessageClass
 from repro.errors import TopologyError
@@ -45,13 +45,59 @@ class Topology(abc.ABC):
     ) -> Sequence[Link]:
         """Ordered links from ``src`` to ``dst`` for a packet of ``msg_class``."""
 
+    # ------------------------------------------------------------------
+    # Route caching
+    # ------------------------------------------------------------------
+    def route_cache_key(
+        self, src: Hashable, dst: Hashable, msg_class: MessageClass, packet_id: int = 0
+    ) -> Optional[Hashable]:
+        """Memoization key for this route, or None when the route is uncacheable.
+
+        Two calls with equal keys MUST produce identical routes; topologies
+        whose routing is deterministic in ``(src, dst, class direction)``
+        override this so :meth:`route_cached` (and the fabric's channel-bound
+        fast path) can reuse computed routes.
+        """
+        return None
+
+    def route_cached(
+        self, src: Hashable, dst: Hashable, msg_class: MessageClass, packet_id: int = 0
+    ) -> Tuple[Link, ...]:
+        """Like :meth:`route` but memoized per :meth:`route_cache_key`.
+
+        Returns the *same* tuple object for repeated calls with equal keys,
+        so callers may use identity-based bookkeeping on the result.
+        """
+        key = self.route_cache_key(src, dst, msg_class, packet_id)
+        if key is None:
+            return tuple(self.route(src, dst, msg_class, packet_id))
+        cache: Dict[Hashable, Tuple[Link, ...]] = self.__dict__.setdefault("_route_cache", {})
+        cached = cache.get(key)
+        if cached is None:
+            cached = tuple(self.route(src, dst, msg_class, packet_id))
+            cache[key] = cached
+        return cached
+
+    def clear_route_cache(self) -> None:
+        """Drop every memoized route (tests and topology-mutation hooks).
+
+        A :class:`~repro.noc.fabric.NocFabric` built on this topology keeps
+        its own channel-bound route cache; invalidate through
+        ``NocFabric.clear_route_cache()``, which clears both.
+        """
+        self.__dict__.pop("_route_cache", None)
+
+    def route_cache_size(self) -> int:
+        """Number of memoized routes currently held."""
+        return len(self.__dict__.get("_route_cache", ()))
+
     def hop_count(self, src: Hashable, dst: Hashable) -> int:
         """Number of hops on the default route between two nodes."""
-        return len(self.route(src, dst, MessageClass.MEMORY_REQUEST))
+        return len(self.route_cached(src, dst, MessageClass.MEMORY_REQUEST))
 
     def min_latency_cycles(self, src: Hashable, dst: Hashable) -> int:
         """Zero-load head latency between two nodes."""
-        return sum(link.hop_cycles for link in self.route(src, dst, MessageClass.MEMORY_REQUEST))
+        return sum(link.hop_cycles for link in self.route_cached(src, dst, MessageClass.MEMORY_REQUEST))
 
     def validate_node(self, node: Hashable) -> None:
         """Raise :class:`TopologyError` if ``node`` is not part of the topology."""

@@ -22,13 +22,21 @@ import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.sim import perf
+
+#: Cancelled events are purged lazily; once at least this many are pending
+#: AND they make up half the heap, the heap is compacted in one pass.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class Event:
     """A scheduled callback.
 
-    Events are comparable by ``(time, seq)`` so that simultaneous events fire
-    in scheduling order, which keeps runs deterministic.
+    Ordering lives in the simulator's heap, which stores ``(time, seq,
+    event)`` tuples: the unique ``seq`` makes simultaneous events fire in
+    scheduling order (deterministic runs) and keeps comparisons on the tuple
+    prefix, entirely in C.  Do not push Event objects onto the heap directly
+    — they intentionally define no ordering of their own.
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled")
@@ -44,9 +52,6 @@ class Event:
         """Prevent the event from firing (it stays in the heap but is skipped)."""
         self.cancelled = True
 
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
         return "Event(t=%s, seq=%d, %s, %s)" % (self.time, self.seq, self.callback, state)
@@ -61,14 +66,34 @@ class Simulator:
         sim.schedule(10, hello)          # relative delay
         sim.run()                        # run to completion
         sim.run(until=100_000)           # or bounded
+
+    Internally the heap holds ``(time, seq, event)`` tuples rather than the
+    :class:`Event` objects themselves: tuple comparison short-circuits on the
+    ``(time, seq)`` prefix entirely in C, which keeps heap maintenance off
+    the Python-level ``Event.__lt__`` path (the single hottest call site in
+    packet-heavy runs).
     """
+
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_seq",
+        "_events_executed",
+        "_stop_requested",
+        "_cancelled_events",
+        "_peak_pending",
+        "_perf",
+    )
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._queue: List[Event] = []
+        self._queue: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._events_executed = 0
         self._stop_requested = False
+        self._cancelled_events: set = set()
+        self._peak_pending = 0
+        self._perf = perf.register_simulator(self)
 
     # ------------------------------------------------------------------
     # Clock and queue introspection
@@ -88,6 +113,11 @@ class Simulator:
         """Number of events still in the queue (including cancelled ones)."""
         return len(self._queue)
 
+    @property
+    def peak_pending_events(self) -> int:
+        """Largest heap size observed so far (memory-pressure indicator)."""
+        return self._peak_pending
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -95,7 +125,14 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError("cannot schedule an event %.3f cycles in the past" % delay)
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self._now + delay
+        seq = next(self._seq)
+        event = Event(time, seq, callback, args)
+        queue = self._queue
+        heapq.heappush(queue, (time, seq, event))
+        if len(queue) > self._peak_pending:
+            self._peak_pending = len(queue)
+        return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at an absolute simulation time."""
@@ -103,9 +140,48 @@ class Simulator:
             raise SimulationError(
                 "cannot schedule an event at t=%.3f, current time is %.3f" % (time, self._now)
             )
-        event = Event(time, next(self._seq), callback, args)
-        heapq.heappush(self._queue, event)
+        seq = next(self._seq)
+        event = Event(time, seq, callback, args)
+        queue = self._queue
+        heapq.heappush(queue, (time, seq, event))
+        if len(queue) > self._peak_pending:
+            self._peak_pending = len(queue)
         return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event, compacting the heap when cancellations pile up.
+
+        ``event.cancel()`` alone also works (the kernel skips cancelled events
+        when they surface), but going through the simulator lets it track the
+        set of dead-but-pending events and periodically rebuild the heap,
+        which bounds ``pending_events`` for workloads that cancel heavily
+        (timeouts, speculative wakeups).  Cancelling an event that already
+        fired is a harmless no-op beyond one set entry that the next
+        compaction clears.
+        """
+        if event.cancelled:
+            return
+        event.cancelled = True
+        cancelled = self._cancelled_events
+        cancelled.add(event)
+        if (
+            len(cancelled) >= _COMPACT_MIN_CANCELLED
+            and len(cancelled) * 2 >= len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled event from the heap in one pass.
+
+        In place, because :meth:`run` holds a local reference to the heap
+        while events (which may cancel other events) are executing.  The
+        tracked set is cleared outright: after the rebuild no cancelled
+        event remains in the heap, including any stale entries for events
+        cancelled after they had already fired.
+        """
+        self._queue[:] = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_events.clear()
 
     # ------------------------------------------------------------------
     # Execution
@@ -113,11 +189,15 @@ class Simulator:
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if the queue is empty."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            time, _seq, event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_events.discard(event)
                 continue
-            self._now = event.time
+            self._now = time
             self._events_executed += 1
+            self._perf.events += 1
+            if self._peak_pending > self._perf.peak_pending:
+                self._perf.peak_pending = self._peak_pending
             event.callback(*event.args)
             return True
         return False
@@ -129,22 +209,34 @@ class Simulator:
         """
         self._stop_requested = False
         executed = 0
-        while self._queue and not self._stop_requested:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if until is not None and head.time > until:
-                self._now = until
-                break
-            if max_events is not None and executed >= max_events:
-                break
-            heapq.heappop(self._queue)
-            self._now = head.time
-            self._events_executed += 1
-            executed += 1
-            head.callback(*head.args)
-        if until is not None and not self._queue and self._now < until:
+        queue = self._queue
+        pop = heapq.heappop
+        horizon = float("inf") if until is None else until
+        limit = float("inf") if max_events is None else max_events
+        try:
+            while queue and not self._stop_requested:
+                head_time, _seq, event = queue[0]
+                if event.cancelled:
+                    pop(queue)
+                    self._cancelled_events.discard(event)
+                    continue
+                if head_time > horizon:
+                    self._now = until
+                    break
+                if executed >= limit:
+                    break
+                pop(queue)
+                self._now = head_time
+                executed += 1
+                event.callback(*event.args)
+        finally:
+            # The executed-event count is kept in a local inside the loop;
+            # fold it into the lifetime counters even on an exception.
+            self._events_executed += executed
+            self._perf.events += executed
+            if self._peak_pending > self._perf.peak_pending:
+                self._perf.peak_pending = self._peak_pending
+        if until is not None and not queue and self._now < until:
             # The model went idle before the horizon; advance the clock so
             # rate computations over [0, until] stay meaningful.
             self._now = until
@@ -173,9 +265,16 @@ class Process:
     value.  Completion callbacks can be registered with :meth:`on_complete`.
     """
 
+    __slots__ = ("_sim", "_generator", "_advance_bound", "_started", "finished", "result",
+                 "_completion_callbacks")
+
     def __init__(self, sim: Simulator, generator: Generator[float, float, Any]) -> None:
         self._sim = sim
         self._generator = generator
+        #: The bound step method, created once instead of per yield (stepping
+        #: a process schedules an event per yield, and binding is the only
+        #: per-event allocation the kernel itself can avoid).
+        self._advance_bound = self._advance
         self._started = False
         self.finished = False
         self.result: Any = None
@@ -183,7 +282,7 @@ class Process:
 
     def start(self) -> None:
         """Schedule the first step of the process at the current time."""
-        self._sim.schedule(0, self._advance, None)
+        self._sim.schedule(0, self._advance_bound, None)
 
     def on_complete(self, callback: Callable[["Process"], None]) -> None:
         """Register a callback invoked when the process finishes."""
@@ -209,7 +308,7 @@ class Process:
             delay = 0
         if delay < 0:
             raise SimulationError("a process yielded a negative delay: %r" % delay)
-        self._sim.schedule(delay, self._advance, None)
+        self._sim.schedule(delay, self._advance_bound, None)
 
 
 def drain(sim: Simulator, processes: Iterable[Process], until: Optional[float] = None) -> None:

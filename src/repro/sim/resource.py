@@ -10,7 +10,8 @@ simulating individual flits cycle by cycle.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.engine import Simulator
@@ -25,7 +26,8 @@ class Resource:
     ``grant + occupancy`` (or use :meth:`acquire_then`).
     """
 
-    __slots__ = ("sim", "name", "_free_at", "busy_cycles", "grants", "_stats_since")
+    __slots__ = ("sim", "name", "_free_at", "busy_cycles", "grants", "_stats_since",
+                 "_open_grants")
 
     def __init__(self, sim: Simulator, name: str = "resource") -> None:
         self.sim = sim
@@ -37,15 +39,30 @@ class Resource:
         self.grants: int = 0
         #: Simulation time at which the utilization counters were last reset.
         self._stats_since: float = 0.0
+        #: Busy intervals that have not finished yet, as (start, end) pairs in
+        #: grant order.  Pruned lazily; :meth:`reset_stats` uses them to carry
+        #: the post-reset portion of in-flight grants over a warm-up reset.
+        self._open_grants: Deque[Tuple[float, float]] = deque()
 
     def acquire(self, occupancy: float, earliest: Optional[float] = None) -> float:
         """Reserve the resource for ``occupancy`` cycles; return the grant time."""
         if occupancy < 0:
             raise SimulationError("occupancy cannot be negative (%s)" % self.name)
-        start = max(self.sim.now if earliest is None else earliest, self._free_at)
-        self._free_at = start + occupancy
+        # Hot path (one call per NOC hop): read the simulator clock directly
+        # rather than through the ``now`` property descriptor.
+        now = self.sim._now
+        start = now if earliest is None else earliest
+        if start < self._free_at:
+            start = self._free_at
+        end = start + occupancy
+        self._free_at = end
         self.busy_cycles += occupancy
         self.grants += 1
+        if occupancy > 0:
+            open_grants = self._open_grants
+            while open_grants and open_grants[0][1] <= now:
+                open_grants.popleft()
+            open_grants.append((start, end))
         return start
 
     def acquire_then(
@@ -72,9 +89,29 @@ class Resource:
             return 0.0
         return min(1.0, self.busy_cycles / horizon)
 
+    def in_flight_busy_cycles(self, since: Optional[float] = None) -> float:
+        """Busy cycles of unfinished grants that fall at or after ``since``.
+
+        Grants are accounted for in full at :meth:`acquire` time, so a grant
+        that straddles a measurement boundary has already banked cycles that
+        belong to the *next* measurement window.  This returns exactly those
+        cycles: the overlap of every open grant with ``[since, inf)``.
+        """
+        boundary = self.sim.now if since is None else since
+        open_grants = self._open_grants
+        while open_grants and open_grants[0][1] <= boundary:
+            open_grants.popleft()
+        return sum(end - max(start, boundary) for start, end in open_grants)
+
     def reset_stats(self) -> None:
-        """Zero the utilization counters (used at the end of warm-up)."""
-        self.busy_cycles = 0.0
+        """Reset the utilization counters (used at the end of warm-up).
+
+        Grants still in flight are not dropped: the portion of their occupancy
+        that falls after the reset is credited to the new measurement window,
+        so ``utilization()`` right after a warm-up reset reflects the work the
+        resource is actually doing instead of undercounting it.
+        """
+        self.busy_cycles = self.in_flight_busy_cycles()
         self.grants = 0
         self._stats_since = self.sim.now
 
@@ -106,8 +143,14 @@ class Channel(Resource):
         return nbytes / self.bytes_per_cycle
 
     def reset_stats(self) -> None:
+        """Reset counters, crediting in-flight grants' post-reset portion.
+
+        Bytes flow at ``bytes_per_cycle`` while the channel is busy, so the
+        bytes attributable to the new window are the carried-over busy cycles
+        times the link rate (mirrors :meth:`Resource.reset_stats`).
+        """
         super().reset_stats()
-        self.bytes_transferred = 0
+        self.bytes_transferred = self.busy_cycles * self.bytes_per_cycle
 
 
 class Pipeline(Resource):

@@ -9,6 +9,8 @@ consecutive windows.
 from __future__ import annotations
 
 import math
+import random
+import zlib
 from typing import Dict, List, Optional
 
 
@@ -92,24 +94,43 @@ class StatAccumulator:
 class LatencyRecorder(StatAccumulator):
     """A :class:`StatAccumulator` specialized for request latencies.
 
-    Also keeps the raw samples (bounded) so percentiles can be computed.
+    Also keeps a bounded set of raw samples so percentiles can be computed.
+    Once more than ``max_samples`` values arrive, the retained set is a
+    uniform reservoir over the *whole* stream (Vitter's algorithm R) rather
+    than the first ``max_samples`` values: keeping only the stream prefix
+    would freeze the percentiles on the warm-up transient and never reflect
+    steady state.  The reservoir's RNG is seeded from the recorder name, so
+    runs are reproducible and recorders do not perturb any global RNG.
     """
 
-    __slots__ = ("_samples", "_max_samples")
+    __slots__ = ("_samples", "_max_samples", "_rng")
 
     def __init__(self, name: str = "latency", max_samples: int = 100_000) -> None:
         super().__init__(name)
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
         self._samples: List[float] = []
         self._max_samples = max_samples
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def add(self, value: float) -> None:
         super().add(value)
         if len(self._samples) < self._max_samples:
             self._samples.append(value)
+        else:
+            # Algorithm R: the i-th sample replaces a random slot with
+            # probability max_samples / i, keeping the reservoir uniform.
+            slot = self._rng.randrange(self.count)
+            if slot < self._max_samples:
+                self._samples[slot] = value
 
     @property
     def samples(self) -> List[float]:
-        """The recorded samples (bounded by ``max_samples``)."""
+        """The recorded samples (bounded by ``max_samples``).
+
+        In insertion order while the stream fits in the reservoir; once the
+        stream exceeds ``max_samples`` the order is arbitrary.
+        """
         return list(self._samples)
 
     def percentile(self, p: float) -> float:
@@ -195,17 +216,44 @@ class WindowedMonitor:
         return len(self.window_values)
 
     @property
-    def converged(self) -> bool:
-        """True once consecutive windows agree to within the tolerance."""
+    def exhausted(self) -> bool:
+        """True once the window budget (``max_windows``) is spent."""
+        return len(self.window_values) >= self.max_windows
+
+    @property
+    def converged_naturally(self) -> bool:
+        """True only when the tolerance criterion itself is met.
+
+        Distinct from :attr:`converged`, which also turns True when
+        ``max_windows`` is exhausted — a run that merely ran out of window
+        budget has *not* demonstrated a steady state, and callers reporting
+        measurements should surface that (see :meth:`warning`).
+        """
         if len(self.window_values) < self.min_windows:
             return False
-        if len(self.window_values) >= self.max_windows:
-            return True
         prev, last = self.window_values[-2], self.window_values[-1]
         if prev == 0 and last == 0:
             return True
         denom = max(abs(prev), abs(last), 1e-12)
         return abs(last - prev) / denom < self.tolerance
+
+    @property
+    def converged(self) -> bool:
+        """True once the run should stop measuring: the tolerance criterion
+        is met, or the ``max_windows`` budget is exhausted."""
+        if len(self.window_values) < self.min_windows:
+            return False
+        return self.converged_naturally or self.exhausted
+
+    def warning(self) -> Optional[str]:
+        """A human-readable warning when measurement stopped without converging."""
+        if self.exhausted and not self.converged_naturally:
+            return (
+                "metric did not converge to %.2f%% within %d windows of %g cycles; "
+                "reported value is the mean of the last two windows"
+                % (self.tolerance * 100.0, self.max_windows, self.window_cycles)
+            )
+        return None
 
     @property
     def value(self) -> Optional[float]:

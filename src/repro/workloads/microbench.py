@@ -19,7 +19,7 @@ so that results for different transfer sizes and designs are independent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.config import NIDesign, SystemConfig
 from repro.errors import WorkloadError
@@ -27,6 +27,7 @@ from repro.node.core_model import CoreModel
 from repro.node.soc import ManycoreSoc
 from repro.node.traffic import RemoteEndEmulator
 from repro.qp.entries import RemoteOp, WorkQueueEntry
+from repro.sim.stats import WindowedMonitor
 
 #: Context id used for the benchmark's exported memory region.
 BENCH_CTX_ID = 0
@@ -75,6 +76,13 @@ class BandwidthResult:
     max_link_utilization: float = 0.0
     llc_bank_utilization: float = 0.0
     completed_transfers: int = 0
+    #: Number of measurement windows taken (0 for fixed-window runs).
+    measurement_windows: int = 0
+    #: Whether the windowed metric met the tolerance criterion (None for
+    #: fixed-window runs, False when the window budget ran out first).
+    converged_naturally: Optional[bool] = None
+    #: Human-readable warning when measurement stopped without converging.
+    convergence_warning: Optional[str] = None
 
     @property
     def application_bytes(self) -> int:
@@ -200,13 +208,25 @@ class RemoteReadBandwidthBenchmark:
         hops: int = 1,
         warmup_cycles: float = 10_000,
         measure_cycles: float = 40_000,
+        converge: bool = False,
+        tolerance: float = 0.01,
+        max_windows: int = 8,
     ) -> None:
         self.config = config if config is not None else SystemConfig.paper_defaults()
         if warmup_cycles < 0 or measure_cycles <= 0:
             raise WorkloadError("invalid warmup/measurement window")
+        if max_windows < 2:
+            raise WorkloadError("convergence needs at least two measurement windows")
         self.hops = hops
         self.warmup_cycles = warmup_cycles
         self.measure_cycles = measure_cycles
+        #: When True, ``measure_cycles`` becomes the §5 window size and the
+        #: run measures window after window until the application-bandwidth
+        #: metric converges (or ``max_windows`` is exhausted, which the
+        #: result flags as non-natural convergence).
+        self.converge = converge
+        self.tolerance = tolerance
+        self.max_windows = max_windows
 
     def max_outstanding_for(self, transfer_bytes: int) -> int:
         """In-flight transfers per core (bounded by the 128-entry WQ)."""
@@ -236,32 +256,95 @@ class RemoteReadBandwidthBenchmark:
                 max_outstanding=outstanding,
             )
             cores.append(core)
-        # Warm up, then measure over a fixed window (§5 monitors 500K-cycle
-        # windows until convergence; the default window here is shorter so
-        # the pure-Python model stays fast, and tests verify convergence
-        # behaviour separately).
+        # Warm up, then measure (§5 monitors fixed-size windows until
+        # convergence; the default is a single shortened window so the
+        # pure-Python model stays fast, ``converge=True`` enables the full
+        # windowed methodology).
         soc.run(until=self.warmup_cycles)
         soc.fabric.reset_stats()
         rcp_base = soc.ni.total_payload_bytes_completed()
         rrpp_base = soc.ni.total_rrpp_payload_bytes()
         transfers_base = soc.ni.transfers.retired + soc.ni.transfers.in_flight
         start = soc.sim.now
-        soc.run(until=self.warmup_cycles + self.measure_cycles)
+        monitor: Optional[WindowedMonitor] = None
+        if self.converge:
+            monitor = WindowedMonitor(
+                window_cycles=self.measure_cycles,
+                tolerance=self.tolerance,
+                max_windows=self.max_windows,
+            )
+            # Cumulative counters sampled at each window boundary — bytes
+            # (rcp, rrpp, wire) plus per-link and per-LLC-bank busy cycles —
+            # so every reported figure can cover exactly the two windows the
+            # convergence criterion accepted (matching WindowedMonitor.value)
+            # instead of averaging in the transient.
+            window_marks: List[Tuple[int, int, int]] = []
+            busy_marks: List[Tuple[dict, List[float]]] = []
+            while not monitor.converged:
+                soc.run(until=start + (monitor.windows_seen + 1) * monitor.window_cycles)
+                rcp = soc.ni.total_payload_bytes_completed() - rcp_base
+                rrpp = soc.ni.total_rrpp_payload_bytes() - rrpp_base
+                window_marks.append((rcp, rrpp, soc.fabric.wire_bytes_sent))
+                busy_marks.append((
+                    {key: channel.busy_cycles
+                     for key, channel in soc.fabric._channels.items()},
+                    [bank.busy_cycles for bank in soc.llc_banks],
+                ))
+                previous = window_marks[-2][0] + window_marks[-2][1] if len(window_marks) > 1 else 0
+                monitor.record_window((rcp + rrpp - previous) / monitor.window_cycles)
+        else:
+            soc.run(until=self.warmup_cycles + self.measure_cycles)
         elapsed = soc.sim.now - start
         for core in cores:
             core.stop()
+        if monitor is not None:
+            # Report over the final two windows only (min_windows guarantees
+            # at least two): the converged value of the §5 methodology.
+            window_base = window_marks[-3] if len(window_marks) >= 3 else (0, 0, 0)
+            rcp_bytes = window_marks[-1][0] - window_base[0]
+            rrpp_bytes = window_marks[-1][1] - window_base[1]
+            wire_bytes = window_marks[-1][2] - window_base[2]
+            elapsed = 2 * monitor.window_cycles
+            # Utilizations over the same two windows (channels created after
+            # the base snapshot fall back to zero prior busy cycles).
+            link_base, bank_base = (
+                busy_marks[-3] if len(busy_marks) >= 3 else ({}, [0.0] * len(soc.llc_banks))
+            )
+            max_link_utilization = max(
+                (
+                    (channel.busy_cycles - link_base.get(key, 0.0)) / elapsed
+                    for key, channel in soc.fabric._channels.items()
+                ),
+                default=0.0,
+            )
+            llc_utilization = max(
+                (
+                    (bank.busy_cycles - bank_base[i]) / elapsed
+                    for i, bank in enumerate(soc.llc_banks)
+                ),
+                default=0.0,
+            )
+        else:
+            rcp_bytes = soc.ni.total_payload_bytes_completed() - rcp_base
+            rrpp_bytes = soc.ni.total_rrpp_payload_bytes() - rrpp_base
+            wire_bytes = soc.fabric.wire_bytes_sent
+            max_link_utilization = soc.fabric.max_link_utilization()
+            llc_utilization = soc.llc_bank_utilization()
         return BandwidthResult(
             design=self.config.ni.design,
             transfer_bytes=transfer_bytes,
             measure_cycles=elapsed,
-            rcp_payload_bytes=soc.ni.total_payload_bytes_completed() - rcp_base,
-            rrpp_payload_bytes=soc.ni.total_rrpp_payload_bytes() - rrpp_base,
-            noc_wire_bytes=soc.fabric.wire_bytes_sent,
+            rcp_payload_bytes=rcp_bytes,
+            rrpp_payload_bytes=rrpp_bytes,
+            noc_wire_bytes=wire_bytes,
             frequency_ghz=self.config.cores.frequency_ghz,
-            max_link_utilization=soc.fabric.max_link_utilization(),
-            llc_bank_utilization=soc.llc_bank_utilization(),
+            max_link_utilization=min(1.0, max_link_utilization),
+            llc_bank_utilization=min(1.0, llc_utilization),
             completed_transfers=(soc.ni.transfers.retired + soc.ni.transfers.in_flight)
             - transfers_base,
+            measurement_windows=monitor.windows_seen if monitor is not None else 0,
+            converged_naturally=monitor.converged_naturally if monitor is not None else None,
+            convergence_warning=monitor.warning() if monitor is not None else None,
         )
 
     def sweep(self, transfer_sizes: Sequence[int]) -> List[BandwidthResult]:

@@ -9,6 +9,7 @@ from repro.noc.routing import (
     average_tile_to_tile_distance,
     manhattan_distance,
     mesh_route,
+    o1turn_orientation,
     o1turn_path,
     route_class_direction,
     xy_path,
@@ -39,9 +40,43 @@ class TestDimensionOrderPaths:
             for a, b in zip(path, path[1:]):
                 assert manhattan_distance(a, b) == 1
 
-    def test_o1turn_alternates_by_packet_id(self):
-        assert o1turn_path((0, 0), (2, 2), packet_id=0) == xy_path((0, 0), (2, 2))
-        assert o1turn_path((0, 0), (2, 2), packet_id=1) == yx_path((0, 0), (2, 2))
+    def test_o1turn_path_matches_its_orientation(self):
+        for packet_id in range(16):
+            orientation = o1turn_orientation((0, 0), (2, 2), packet_id)
+            expected = xy_path((0, 0), (2, 2)) if orientation == "xy" else yx_path((0, 0), (2, 2))
+            assert o1turn_path((0, 0), (2, 2), packet_id) == expected
+
+    def test_o1turn_uses_both_orientations(self):
+        orientations = {o1turn_orientation((1, 2), (6, 5), pid) for pid in range(32)}
+        assert orientations == {"xy", "yx"}
+
+    def test_o1turn_orientation_is_deterministic(self):
+        for packet_id in (0, 1, 7, 1234):
+            first = o1turn_orientation((3, 4), (0, 6), packet_id)
+            assert o1turn_orientation((3, 4), (0, 6), packet_id) == first
+
+    def test_o1turn_balanced_on_single_parity_packet_ids(self):
+        # Regression: the global packet-id counter hands an interleaved
+        # traffic class ids of a single parity.  A parity-based choice pinned
+        # every such packet to one orientation; the hash must keep the split
+        # within 45/55 even when every packet id is even.
+        counts = {"xy": 0, "yx": 0}
+        for i in range(4000):
+            src = (i % 8, (i // 8) % 8)
+            dst = ((i * 7 + 13) % 8, ((i * 7 + 13) // 8) % 8)
+            if src == dst:
+                continue
+            counts[o1turn_orientation(src, dst, 2 * i)] += 1
+        total = counts["xy"] + counts["yx"]
+        assert 0.45 <= counts["xy"] / total <= 0.55
+
+    def test_o1turn_balanced_per_flow(self):
+        # A single (src, dst) flow with single-parity ids must also split.
+        counts = {"xy": 0, "yx": 0}
+        for packet_id in range(0, 4000, 2):
+            counts[o1turn_orientation((3, 3), (5, 1), packet_id)] += 1
+        total = counts["xy"] + counts["yx"]
+        assert 0.45 <= counts["xy"] / total <= 0.55
 
 
 class TestClassBasedRouting:

@@ -160,3 +160,105 @@ class TestProcess:
         drain(sim, procs)
         assert all(p.finished for p in procs)
         assert sim.now == 7
+
+
+class TestCancellationAndCompaction:
+    def test_simulator_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(5, fired.append, "x")
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(5, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        sim.run()
+
+    def test_heavy_cancellation_compacts_the_heap(self):
+        sim = Simulator()
+        keep = sim.schedule(1_000, lambda: None)
+        doomed = [sim.schedule(100 + i, lambda: None) for i in range(500)]
+        assert sim.pending_events == 501
+        for event in doomed:
+            sim.cancel(event)
+        # Lazy purging must have bounded the queue: at most the live event
+        # plus less-than-half dead entries remain.
+        assert sim.pending_events < 251
+        fired_at = []
+        sim.schedule_at(1_000, lambda: fired_at.append(sim.now))
+        sim.run()
+        assert sim.now == 1_000
+        assert not keep.cancelled
+
+    def test_compaction_preserves_event_order(self):
+        sim = Simulator()
+        order = []
+        events = [sim.schedule(10 + i, order.append, i) for i in range(200)]
+        for event in events[::2]:
+            sim.cancel(event)
+        sim.run()
+        assert order == list(range(1, 200, 2))
+
+    def test_cancel_from_within_event_is_safe(self):
+        # Compaction replaces heap contents while run() holds a reference to
+        # the heap; cancelling en masse from inside a callback must not lose
+        # the surviving events.
+        sim = Simulator()
+        fired = []
+        doomed = [sim.schedule(50 + i, fired.append, "dead") for i in range(300)]
+        sim.schedule(1, lambda: [sim.cancel(e) for e in doomed])
+        sim.schedule(400, fired.append, "alive")
+        sim.run()
+        assert fired == ["alive"]
+
+    def test_peak_pending_events_tracks_high_water_mark(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(i + 1, lambda: None)
+        assert sim.peak_pending_events == 10
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.peak_pending_events == 10
+
+    def test_event_cancel_method_still_works(self):
+        # The legacy Event.cancel() path (no simulator bookkeeping) must keep
+        # skipping the event when it surfaces.
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(5, fired.append, "x")
+        event.cancel()
+        sim.schedule(6, fired.append, "y")
+        sim.run()
+        assert fired == ["y"]
+
+    def test_cancel_after_fire_is_harmless(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1, fired.append, "x")
+        sim.run()
+        sim.cancel(event)  # stale cancel of an already-fired event
+        sim.schedule(1, fired.append, "y")
+        sim.run()
+        assert fired == ["x", "y"]
+
+    def test_mixed_legacy_and_simulator_cancels(self):
+        # Legacy Event.cancel() entries popping must not drain the
+        # simulator's bookkeeping for events cancelled via sim.cancel().
+        sim = Simulator()
+        fired = []
+        legacy = [sim.schedule(10 + i, fired.append, "l") for i in range(50)]
+        tracked = [sim.schedule(500 + i, fired.append, "t") for i in range(200)]
+        for event in legacy:
+            event.cancel()
+        sim.run(until=100)  # pops every legacy-cancelled entry
+        for event in tracked:
+            sim.cancel(event)
+        # Compaction must have removed the bulk of the 200 dead entries; at
+        # most a sub-threshold remainder may linger until the next pass.
+        assert sim.pending_events < 64
+        sim.run()
+        assert fired == []

@@ -111,3 +111,86 @@ class TestPipeline:
             Pipeline(sim, 0, 1)
         with pytest.raises(SimulationError):
             Pipeline(sim, 1, -1)
+
+
+class TestResetStatsMidGrant:
+    def test_in_flight_grant_credits_post_reset_portion(self):
+        # Hand-computed: a 10-cycle grant starts at t=0; stats reset at t=4.
+        # 6 cycles of the grant fall after the reset, so utilization over the
+        # 6-cycle window [4, 10] must be 6/6 = 1.0 (the seed reported 0.0).
+        sim = Simulator()
+        res = Resource(sim, "r")
+        res.acquire_then(10, lambda: None)
+        sim.schedule(4, res.reset_stats)
+        sim.run()
+        assert sim.now == 10
+        assert res.busy_cycles == pytest.approx(6.0)
+        assert res.utilization() == pytest.approx(1.0)
+
+    def test_partial_window_utilization_matches_hand_computation(self):
+        # Grant of 30 cycles starting at t=10 (resource idle before).
+        # Reset at t=25: 15 busy cycles remain in flight.  By t=50 the
+        # measurement window is 25 cycles long -> utilization 15/25 = 0.6.
+        sim = Simulator()
+        res = Resource(sim, "r")
+        sim.schedule(10, lambda: res.acquire_then(30, lambda: None))
+        sim.schedule(25, res.reset_stats)
+        sim.schedule(50, lambda: None)
+        sim.run()
+        assert res.busy_cycles == pytest.approx(15.0)
+        assert res.utilization() == pytest.approx(15.0 / 25.0)
+
+    def test_back_to_back_grants_spanning_reset(self):
+        # Two 10-cycle grants issued at t=0 occupy [0, 10) and [10, 20).
+        # Reset at t=5 -> 5 cycles of the first plus all 10 of the second
+        # are post-reset.
+        sim = Simulator()
+        res = Resource(sim, "r")
+        res.acquire(10)
+        res.acquire(10)
+        sim.schedule(5, res.reset_stats)
+        sim.schedule(20, lambda: None)
+        sim.run()
+        assert res.busy_cycles == pytest.approx(15.0)
+        assert res.utilization() == pytest.approx(1.0)
+
+    def test_reset_after_grants_finish_zeroes_counters(self):
+        sim = Simulator()
+        res = Resource(sim, "r")
+        res.acquire_then(50, lambda: None)
+        sim.schedule(100, lambda: None)
+        sim.run()
+        res.reset_stats()
+        assert res.busy_cycles == 0.0
+        assert res.grants == 0
+
+    def test_future_grant_with_gap_counts_only_its_own_cycles(self):
+        # A grant reserved for [100, 105) via earliest; reset at t=50 must
+        # credit exactly the 5-cycle grant, not the idle gap [50, 100).
+        sim = Simulator()
+        res = Resource(sim, "r")
+        res.acquire(5, earliest=100)
+        sim.schedule(50, res.reset_stats)
+        sim.run()
+        assert res.busy_cycles == pytest.approx(5.0)
+
+    def test_channel_reset_attributes_in_flight_bytes(self):
+        # 160 bytes at 16 B/cycle occupy [0, 10); reset at t=4 leaves
+        # 6 cycles * 16 B/cycle = 96 bytes attributable to the new window.
+        sim = Simulator()
+        channel = Channel(sim, bytes_per_cycle=16, name="link")
+        channel.send(160)
+        sim.schedule(4, channel.reset_stats)
+        sim.schedule(10, lambda: None)
+        sim.run()
+        assert channel.bytes_transferred == pytest.approx(96.0)
+        assert channel.busy_cycles == pytest.approx(6.0)
+
+    def test_channel_reset_when_idle_zeroes_bytes(self):
+        sim = Simulator()
+        channel = Channel(sim, bytes_per_cycle=16)
+        channel.send(64)
+        sim.schedule(100, lambda: None)
+        sim.run()
+        channel.reset_stats()
+        assert channel.bytes_transferred == 0

@@ -118,3 +118,84 @@ class TestWindowedMonitor:
         monitor.record_window(0.0)
         monitor.record_window(0.0)
         assert monitor.converged
+
+
+class TestLatencyRecorderReservoir:
+    def test_first_n_samples_kept_verbatim(self):
+        rec = LatencyRecorder("r", max_samples=10)
+        for value in range(10):
+            rec.add(float(value))
+        assert rec.samples == [float(v) for v in range(10)]
+
+    def test_reservoir_reflects_full_stream_not_warmup_prefix(self):
+        # A 2 x max_samples stream whose first half (the "warm-up") is slow
+        # (1000.0) and second half is fast (10.0).  Keeping only the first
+        # max_samples values would report p50 = 1000; a uniform reservoir
+        # over the whole stream must land near the true mixed distribution.
+        max_samples = 2_000
+        rec = LatencyRecorder("bias-check", max_samples=max_samples)
+        for _ in range(max_samples):
+            rec.add(1000.0)
+        for _ in range(max_samples):
+            rec.add(10.0)
+        fast_fraction = sum(1 for s in rec.samples if s == 10.0) / max_samples
+        assert 0.4 < fast_fraction < 0.6
+        # p90 over the full stream is 1000 (half the mass), p25 is 10.
+        assert rec.percentile(90) == pytest.approx(1000.0)
+        assert rec.percentile(25) == pytest.approx(10.0)
+
+    def test_reservoir_is_deterministic_per_name(self):
+        def fill(name):
+            rec = LatencyRecorder(name, max_samples=50)
+            for value in range(500):
+                rec.add(float(value))
+            return rec.samples
+
+        assert fill("alpha") == fill("alpha")
+        assert fill("alpha") != fill("beta")
+
+    def test_bounded_at_max_samples(self):
+        rec = LatencyRecorder("r", max_samples=16)
+        for value in range(1_000):
+            rec.add(float(value))
+        assert len(rec.samples) == 16
+        assert rec.count == 1_000
+
+    def test_accumulator_stats_cover_whole_stream(self):
+        rec = LatencyRecorder("r", max_samples=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 100.0):
+            rec.add(value)
+        assert rec.maximum == 100.0
+        assert rec.mean == pytest.approx(22.0)
+
+    def test_invalid_max_samples_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder("r", max_samples=0)
+
+
+class TestConvergenceFlags:
+    def test_natural_convergence_sets_both_flags(self):
+        monitor = WindowedMonitor(tolerance=0.01, min_windows=2)
+        monitor.record_window(100.0)
+        monitor.record_window(100.2)
+        assert monitor.converged
+        assert monitor.converged_naturally
+        assert not monitor.exhausted
+        assert monitor.warning() is None
+
+    def test_window_budget_exhaustion_is_flagged(self):
+        monitor = WindowedMonitor(tolerance=0.0001, max_windows=3)
+        for value in (1.0, 2.0, 3.0):
+            monitor.record_window(value)
+        assert monitor.converged          # measurement must stop...
+        assert not monitor.converged_naturally  # ...but not silently
+        assert monitor.exhausted
+        warning = monitor.warning()
+        assert warning is not None and "did not converge" in warning
+
+    def test_exhausted_run_that_happens_to_agree_is_natural(self):
+        monitor = WindowedMonitor(tolerance=0.01, max_windows=2)
+        monitor.record_window(5.0)
+        monitor.record_window(5.0)
+        assert monitor.converged_naturally
+        assert monitor.warning() is None
