@@ -24,6 +24,8 @@ import pytest
 from repro.config import MessageClass, SystemConfig
 from repro.noc.fabric import NocFabric
 from repro.noc.mesh import MeshTopology
+from repro.scenario.builder import MachineBuilder
+from repro.scenario.spec import ScenarioSpec
 from repro.sim import perf
 from repro.sim.engine import Simulator
 
@@ -31,6 +33,8 @@ from repro.sim.engine import Simulator
 KERNEL_EVENTS = 200_000
 #: Packets injected by the NOC fast-path benchmark.
 INJECTED_PACKETS = 40_000
+#: Operations per core driven by the scenario-composition benchmark.
+SCENARIO_OPS_PER_CORE = 32
 
 BASELINE_SCHEMA = "repro-perf-baseline/1"
 
@@ -128,6 +132,38 @@ def test_bench_packet_injection():
     })
     print("\npacket injection: %.0f packets/s, %.0f events/s (%d packets in %.3f s)"
           % (session.packets_per_s, session.events_per_s, session.packets, session.wall_s))
+
+
+def test_bench_scenario_hotspot():
+    """Registry-composed hotspot scenario on the full 64-core chip.
+
+    Exercises the whole MachineBuilder path (spec resolution, registry
+    lookups, SoC construction) plus the contended hot-window traffic of the
+    new workload, so the baseline tracks scenario-composition overhead as
+    well as raw simulation throughput.
+    """
+    spec = ScenarioSpec(
+        design="split",
+        workload="hotspot",
+        workload_params={"active_cores": 16, "ops_per_core": SCENARIO_OPS_PER_CORE},
+    )
+    with perf.session() as session:
+        result = MachineBuilder(spec).run()
+    expected_ops = 16 * SCENARIO_OPS_PER_CORE
+    assert result.metrics["completed_ops"] == expected_ops
+    assert session.events_per_s > 0
+    _record("scenario_hotspot", {
+        "completed_ops": result.metrics["completed_ops"],
+        "elapsed_cycles": result.metrics["elapsed_cycles"],
+        "application_gbps": result.metrics["application_gbps"],
+        "max_link_utilization": result.metrics["max_link_utilization"],
+        "events": session.events,
+        "wall_s": session.wall_s,
+        "events_per_s": session.events_per_s,
+        "scenario_fingerprint": result.scenario_fingerprint,
+    })
+    print("\nscenario hotspot: %.0f events/s (%d ops in %.3f s)"
+          % (session.events_per_s, expected_ops, session.wall_s))
 
 
 def test_baseline_file_is_valid_json():

@@ -29,6 +29,11 @@ from repro.config import (
 )
 from repro.errors import ReproError
 
+#: Scenario-composition API, re-exported lazily (PEP 562) so that importing
+#: ``repro`` stays light and low-level modules can import ``repro.config``
+#: without dragging in the full node model.
+_LAZY_SCENARIO = ("ScenarioSpec", "MachineBuilder", "Scenario", "ScenarioResult", "Workload")
+
 __all__ = [
     "__version__",
     "SystemConfig",
@@ -38,4 +43,13 @@ __all__ = [
     "MessageClass",
     "CACHE_BLOCK_BYTES",
     "ReproError",
+    *_LAZY_SCENARIO,
 ]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SCENARIO:
+        import repro.scenario
+
+        return getattr(repro.scenario, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

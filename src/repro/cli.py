@@ -51,9 +51,16 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser(
-        "list", help="list available experiments and their parameters")
+        "list", help="list available experiments, designs, topologies and workloads")
     list_parser.add_argument("--json", nargs="?", const="-", metavar="PATH", default=None,
-                             help="emit the experiment catalog as JSON (to PATH, or stdout)")
+                             help="emit the experiment + component catalog as JSON "
+                                  "(to PATH, or stdout)")
+    list_parser.add_argument("--designs", action="store_true",
+                             help="list only the registered NI designs")
+    list_parser.add_argument("--topologies", action="store_true",
+                             help="list only the registered topologies")
+    list_parser.add_argument("--workloads", action="store_true",
+                             help="list only the registered workloads")
 
     run_parser = subparsers.add_parser("run", help="run experiments once each")
     run_parser.add_argument("experiments", nargs="*",
@@ -126,34 +133,97 @@ def main(argv: Optional[List[str]] = None) -> int:
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
+def _registry_catalog() -> Dict[str, List[Dict[str, object]]]:
+    """The component registries as a JSON-native inventory."""
+    from repro.scenario.registry import NI_DESIGNS, TOPOLOGIES, WORKLOADS
+
+    designs = [
+        {
+            "name": entry.name,
+            "label": entry.metadata.get("label", entry.name),
+            "messaging": bool(entry.metadata.get("messaging", True)),
+            "summary": entry.summary,
+        }
+        for entry in NI_DESIGNS.entries()
+    ]
+    topologies = [
+        {
+            "name": entry.name,
+            "scope": entry.metadata.get("scope", "chip"),
+            "summary": entry.summary,
+        }
+        for entry in TOPOLOGIES.entries()
+    ]
+    workloads = [
+        {
+            "name": entry.name,
+            "parameters": {
+                key: list(value) if isinstance(value, tuple) else value
+                for key, value in dict(entry.component.param_defaults).items()
+            },
+            "summary": entry.summary,
+        }
+        for entry in WORKLOADS.entries()
+    ]
+    return {"designs": designs, "topologies": topologies, "workloads": workloads}
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
+    registries = _registry_catalog()
     if args.json is not None:
         import json
-        catalog = [
-            {
-                "name": spec.name,
-                "title": spec.title,
-                "description": spec.description,
-                "fast": spec.fast,
-                "tags": list(spec.tags),
-                "parameters": [
-                    {
-                        "name": p.name,
-                        "type": p.kind.__name__,
-                        "repeated": p.repeated,
-                        "default": list(p.default) if isinstance(p.default, tuple) else p.default,
-                        "choices": list(p.choices) if p.choices is not None else None,
-                        "help": p.help,
-                    }
-                    for p in spec.parameters
-                ],
-            }
-            for spec in iter_specs()
-        ]
+        catalog = {
+            "schema": "repro-catalog/1",
+            "experiments": [
+                {
+                    "name": spec.name,
+                    "title": spec.title,
+                    "description": spec.description,
+                    "fast": spec.fast,
+                    "tags": list(spec.tags),
+                    "parameters": [
+                        {
+                            "name": p.name,
+                            "type": p.kind.__name__,
+                            "repeated": p.repeated,
+                            "default": list(p.default) if isinstance(p.default, tuple) else p.default,
+                            "choices": list(p.choice_values()) if p.choice_values() is not None else None,
+                            "help": p.help,
+                        }
+                        for p in spec.parameters
+                    ],
+                }
+                for spec in iter_specs()
+            ],
+            "registries": registries,
+        }
         _emit(json.dumps(catalog, indent=2), args.json)
         return 0
-    for spec in iter_specs():
-        print(spec.describe())
+    selected = [
+        ("NI designs", "designs", args.designs),
+        ("Topologies", "topologies", args.topologies),
+        ("Workloads", "workloads", args.workloads),
+    ]
+    only_registries = any(flag for _, _, flag in selected)
+    if not only_registries:
+        for spec in iter_specs():
+            print(spec.describe())
+        print()
+    for title, key, flag in selected:
+        if only_registries and not flag:
+            continue
+        print("%s:" % title)
+        for item in registries[key]:
+            details = []
+            if key == "designs":
+                details.append(item["label"])
+                details.append("messaging" if item["messaging"] else "load/store baseline")
+            elif key == "topologies":
+                details.append("%s-scope" % item["scope"])
+            else:
+                details.append("params: %s" % (", ".join(sorted(item["parameters"])) or "none"))
+            summary = (" - %s" % item["summary"]) if item["summary"] else ""
+            print("  %s (%s)%s" % (item["name"], "; ".join(details), summary))
     return 0
 
 

@@ -40,7 +40,15 @@ CACHE_BLOCK_BYTES = 64
 
 
 class NIDesign(enum.Enum):
-    """The network-interface placements studied in the paper (§3)."""
+    """The network-interface placements studied in the paper (§3).
+
+    .. deprecated::
+        This enum is kept as a thin compatibility shim.  The source of truth
+        for available designs is the component registry
+        (:data:`repro.scenario.registry.NI_DESIGNS`); new designs register
+        there by name and need no enum member.  Prefer registry names and
+        :class:`repro.scenario.ScenarioSpec` in new code.
+    """
 
     EDGE = "edge"
     PER_TILE = "per_tile"
@@ -55,21 +63,40 @@ class NIDesign(enum.Enum):
 
     @classmethod
     def coerce(cls, value: object) -> "NIDesign":
-        """Accept either an NIDesign or its string value (CLI parameters)."""
+        """Accept an NIDesign or a registered design name (CLI parameters).
+
+        Delegates the string→component normalization to the design
+        registry's ``resolve`` helper, so unknown names fail with the
+        registered inventory (and a suggestion) in the message.
+        """
         if isinstance(value, cls):
             return value
+        from repro.scenario.registry import NI_DESIGNS
+
+        name = NI_DESIGNS.resolve(value)
         try:
-            return cls(str(value))
+            return cls(name)
         except ValueError:
             raise ConfigurationError(
-                "unknown NI design %r (expected one of %s)"
-                % (value, ", ".join(d.value for d in cls))
+                "NI design %r is registered but has no NIDesign enum member; "
+                "use repro.scenario.ScenarioSpec / MachineBuilder for "
+                "registry-only designs" % name
             ) from None
 
     @property
     def label(self) -> str:
         """The paper's display name for the design (e.g. "NIper-tile")."""
         return _DESIGN_LABELS[self]
+
+
+def design_name(design: object) -> str:
+    """Canonical name of an NI design (enum member or registry name string)."""
+    return design.value if isinstance(design, NIDesign) else str(design)
+
+
+def topology_name(topology: object) -> str:
+    """Canonical name of a topology (enum member or registry name string)."""
+    return topology.value if isinstance(topology, TopologyKind) else str(topology)
 
 
 _DESIGN_LABELS = {
@@ -81,10 +108,30 @@ _DESIGN_LABELS = {
 
 
 class TopologyKind(enum.Enum):
-    """On-chip interconnect topologies evaluated in the paper."""
+    """On-chip interconnect topologies evaluated in the paper.
+
+    Like :class:`NIDesign`, this enum is a compatibility shim over the
+    topology registry (:data:`repro.scenario.registry.TOPOLOGIES`).
+    """
 
     MESH = "mesh"
     NOC_OUT = "noc_out"
+
+    @classmethod
+    def coerce(cls, value: object) -> "TopologyKind":
+        """Accept a TopologyKind or a registered chip-topology name."""
+        if isinstance(value, cls):
+            return value
+        from repro.scenario.registry import TOPOLOGIES
+
+        name = TOPOLOGIES.resolve(value)
+        try:
+            return cls(name)
+        except ValueError:
+            raise ConfigurationError(
+                "topology %r is registered but has no TopologyKind enum member; "
+                "use repro.scenario.ScenarioSpec for registry-only topologies" % name
+            ) from None
 
 
 class RoutingAlgorithm(enum.Enum):
@@ -476,13 +523,13 @@ class SystemConfig:
             "Memory     : %.0f ns latency, %d MCs" % (self.memory.latency_ns, self.memory.controllers),
             "Interconnect: %s, %d-byte links, %d cycles/hop (mesh), routing=%s"
             % (
-                self.noc.topology.value,
+                topology_name(self.noc.topology),
                 self.noc.link_bytes,
                 self.noc.mesh_hop_cycles,
                 self.noc.routing.value,
             ),
             "NI         : design=%s, %d RRPPs, %d-entry WQ/CQ"
-            % (self.ni.design.value, self.ni.rrpp_count, self.ni.wq_entries),
+            % (design_name(self.ni.design), self.ni.rrpp_count, self.ni.wq_entries),
             "Rack       : %d nodes, 3D torus %r, %.0f ns/hop"
             % (self.rack.nodes, self.rack.torus_dims, self.rack.network_hop_ns),
         ]

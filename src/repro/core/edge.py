@@ -17,8 +17,10 @@ from __future__ import annotations
 from repro.coherence.caches import TileCacheComplex
 from repro.config import NIDesign
 from repro.core.assembly import BaseNIDesign
+from repro.scenario.registry import register_ni_design
 
 
+@register_ni_design("edge", label="NIedge", messaging=True)
 class NIEdgeDesign(BaseNIDesign):
     """Monolithic edge-integrated NIs, one per backend site."""
 

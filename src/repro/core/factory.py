@@ -1,32 +1,29 @@
-"""Factory for NI design assemblies."""
+"""Factory for NI design assemblies (registry-backed).
+
+The configured design name is resolved through the component registry
+(:data:`repro.scenario.registry.NI_DESIGNS`), so any registered assembly
+class — built-in or third-party — is constructible without editing this
+module.  The legacy ``NIDesign`` enum values resolve to the same names.
+"""
 
 from __future__ import annotations
 
-from repro.config import NIDesign
 from repro.core.assembly import BaseNIDesign
 from repro.core.base import NodeServices
-from repro.core.edge import NIEdgeDesign
-from repro.core.per_tile import NIPerTileDesign
 from repro.core.placement import ChipPlacement
-from repro.core.split import NISplitDesign
 from repro.errors import ConfigurationError
-
-_DESIGNS = {
-    NIDesign.EDGE: NIEdgeDesign,
-    NIDesign.PER_TILE: NIPerTileDesign,
-    NIDesign.SPLIT: NISplitDesign,
-}
+from repro.scenario.registry import NI_DESIGNS
 
 
 def build_ni_design(services: NodeServices, placement: ChipPlacement) -> BaseNIDesign:
     """Build (but not yet :meth:`~BaseNIDesign.build`) the configured NI design."""
-    design = services.config.ni.design
-    if design is NIDesign.NUMA:
+    name = NI_DESIGNS.resolve(services.config.ni.design)
+    entry = NI_DESIGNS.entry(name)
+    if not entry.metadata.get("messaging", True):
         raise ConfigurationError(
             "the NUMA baseline has no QP-based NI; use repro.numa.NumaMachine instead"
+            if name == "numa"
+            else "NI design %r has no QP-based NI pipelines (messaging designs: %s)"
+            % (name, ", ".join(NI_DESIGNS.names(messaging=True)))
         )
-    try:
-        cls = _DESIGNS[design]
-    except KeyError:
-        raise ConfigurationError("unknown NI design %r" % design) from None
-    return cls(services, placement)
+    return entry.component(services, placement)

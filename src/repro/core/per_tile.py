@@ -13,8 +13,10 @@ from __future__ import annotations
 from repro.config import NIDesign
 from repro.core.assembly import BaseNIDesign
 from repro.errors import PlacementError
+from repro.scenario.registry import register_ni_design
 
 
+@register_ni_design("per_tile", label="NIper-tile", messaging=True)
 class NIPerTileDesign(BaseNIDesign):
     """One complete NI per core tile."""
 

@@ -21,6 +21,7 @@ from repro.errors import PlacementError
 from repro.noc.mesh import MeshTopology
 from repro.noc.nocout import NocOutTopology
 from repro.noc.topology import Topology
+from repro.scenario.registry import TOPOLOGIES, register_topology
 
 
 @dataclass
@@ -90,15 +91,25 @@ class ChipPlacement:
 
 
 def build_placement(config: SystemConfig) -> ChipPlacement:
-    """Build the placement for the configured topology."""
-    if config.noc.topology is TopologyKind.MESH:
-        return _mesh_placement(config)
-    if config.noc.topology is TopologyKind.NOC_OUT:
-        return _noc_out_placement(config)
-    raise PlacementError("unsupported topology %r" % config.noc.topology)
+    """Build the placement for the configured topology (registry-backed).
+
+    The configured :class:`TopologyKind` (or raw name) resolves through the
+    topology registry, so registered chip topologies plug in without editing
+    this module; non-chip (rack-scope) topologies are rejected by name.
+    """
+    name = TOPOLOGIES.resolve(config.noc.topology)
+    entry = TOPOLOGIES.entry(name)
+    if entry.metadata.get("scope", "chip") != "chip":
+        raise PlacementError(
+            "topology %r is %s-scoped and has no chip placement (chip topologies: %s)"
+            % (name, entry.metadata.get("scope"), ", ".join(TOPOLOGIES.names(scope="chip")))
+        )
+    return entry.component(config)
 
 
+@register_topology("mesh", scope="chip", kind="mesh")
 def _mesh_placement(config: SystemConfig) -> ChipPlacement:
+    """2D mesh: NIs on the west edge column, MCs on the east (Table 2)."""
     side = config.mesh_side
     topology = MeshTopology(side, config.noc)
     tile_nodes = [topology.tile_coord(t) for t in range(config.tile_count)]
@@ -119,7 +130,9 @@ def _mesh_placement(config: SystemConfig) -> ChipPlacement:
     )
 
 
+@register_topology("noc_out", scope="chip", kind="noc_out")
 def _noc_out_placement(config: SystemConfig) -> ChipPlacement:
+    """NOC-Out: flattened-butterfly LLC row plus per-column core trees (§6.3)."""
     columns = config.mesh_side
     cores_per_column = config.tile_count // columns
     topology = NocOutTopology(columns=columns, cores_per_column=cores_per_column, noc_config=config.noc)

@@ -18,8 +18,10 @@ from __future__ import annotations
 from repro.config import NIDesign
 from repro.core.assembly import BaseNIDesign
 from repro.errors import PlacementError
+from repro.scenario.registry import register_ni_design
 
 
+@register_ni_design("split", label="NIsplit", messaging=True)
 class NISplitDesign(BaseNIDesign):
     """Per-tile frontends with edge-replicated backends."""
 

@@ -16,6 +16,18 @@ class ConfigurationError(ReproError):
     """A :class:`~repro.config.SystemConfig` (or derived object) is invalid."""
 
 
+class RegistryError(ConfigurationError):
+    """A component registry lookup or registration failed.
+
+    Subclasses :class:`ConfigurationError` so callers that treated unknown
+    design/topology/workload names as configuration problems keep working.
+    """
+
+
+class ScenarioError(ReproError):
+    """A :class:`~repro.scenario.spec.ScenarioSpec` is malformed or unresolvable."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation kernel detected an inconsistent state."""
 

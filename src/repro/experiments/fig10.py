@@ -15,6 +15,7 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.fig6 import select_designs
 from repro.experiments.fig7 import FIG7_SIZES
 from repro.experiments.spec import Parameter, experiment
+from repro.scenario.registry import NI_DESIGNS
 from repro.workloads.microbench import RemoteReadBandwidthBenchmark
 
 
@@ -25,7 +26,7 @@ from repro.workloads.microbench import RemoteReadBandwidthBenchmark
                 "on NOC-Out.",
     parameters=(
         Parameter("design", str, default=None,
-                  choices=tuple(d.value for d in NIDesign.messaging_designs()),
+                  choices=tuple(NI_DESIGNS.names(messaging=True)),
                   help="restrict the sweep to one messaging design (default: all three)"),
         Parameter("sizes", int, default=FIG7_SIZES, repeated=True,
                   help="transfer sizes in bytes (x-axis)"),

@@ -15,6 +15,7 @@ from repro.config import NIDesign, SystemConfig
 from repro.experiments.base import ExperimentResult
 from repro.experiments.spec import Parameter, experiment
 from repro.numa.machine import NumaMachine
+from repro.scenario.registry import NI_DESIGNS
 from repro.workloads.microbench import RemoteReadLatencyBenchmark
 
 #: The transfer sizes on the Figure-6 x-axis.
@@ -38,7 +39,7 @@ def select_designs(design: Optional[object]) -> Tuple[NIDesign, ...]:
     description="Synchronous remote-read latency vs. transfer size on the mesh NOC.",
     parameters=(
         Parameter("design", str, default=None,
-                  choices=tuple(d.value for d in NIDesign.messaging_designs()),
+                  choices=tuple(NI_DESIGNS.names(messaging=True)),
                   help="restrict the sweep to one messaging design (default: all three)"),
         Parameter("sizes", int, default=FIG6_SIZES, repeated=True,
                   help="transfer sizes in bytes (x-axis)"),

@@ -16,6 +16,7 @@ from repro.config import NIDesign, SystemConfig
 from repro.experiments.base import ExperimentResult
 from repro.experiments.fig6 import select_designs
 from repro.experiments.spec import Parameter, experiment
+from repro.scenario.registry import NI_DESIGNS
 from repro.workloads.microbench import RemoteReadBandwidthBenchmark
 
 #: The transfer sizes on the Figure-7 x-axis.
@@ -29,7 +30,7 @@ FIG7_SIZES = (64, 128, 256, 512, 1024, 2048, 4096, 8192)
                 "on the mesh NOC.",
     parameters=(
         Parameter("design", str, default=None,
-                  choices=tuple(d.value for d in NIDesign.messaging_designs()),
+                  choices=tuple(NI_DESIGNS.names(messaging=True)),
                   help="restrict the sweep to one messaging design (default: all three)"),
         Parameter("sizes", int, default=FIG7_SIZES, repeated=True,
                   help="transfer sizes in bytes (x-axis)"),

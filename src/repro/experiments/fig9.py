@@ -15,6 +15,7 @@ from repro.config import NIDesign, SystemConfig
 from repro.experiments.base import ExperimentResult
 from repro.experiments.fig6 import FIG6_SIZES, select_designs
 from repro.experiments.spec import Parameter, experiment
+from repro.scenario.registry import NI_DESIGNS
 from repro.workloads.microbench import RemoteReadLatencyBenchmark
 
 
@@ -24,7 +25,7 @@ from repro.workloads.microbench import RemoteReadLatencyBenchmark
     description="Synchronous remote-read latency vs. transfer size on NOC-Out.",
     parameters=(
         Parameter("design", str, default=None,
-                  choices=tuple(d.value for d in NIDesign.messaging_designs()),
+                  choices=tuple(NI_DESIGNS.names(messaging=True)),
                   help="restrict the sweep to one messaging design (default: all three)"),
         Parameter("sizes", int, default=FIG6_SIZES, repeated=True,
                   help="transfer sizes in bytes (x-axis)"),

@@ -22,6 +22,7 @@ from repro.experiments import fig9 as _fig9  # noqa: F401
 from repro.experiments import fig10 as _fig10  # noqa: F401
 from repro.experiments import owned_state_ablation as _owned  # noqa: F401
 from repro.experiments import routing_ablation as _routing  # noqa: F401
+from repro.experiments import scenario_run as _scenario  # noqa: F401
 from repro.experiments import table1 as _table1  # noqa: F401
 from repro.experiments import table2 as _table2  # noqa: F401
 from repro.experiments import table3 as _table3  # noqa: F401

@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 from repro.config import NIDesign, RoutingAlgorithm, SystemConfig
 from repro.experiments.base import ExperimentResult
 from repro.experiments.spec import Parameter, experiment
+from repro.scenario.registry import NI_DESIGNS
 from repro.workloads.microbench import RemoteReadBandwidthBenchmark
 
 _DEFAULT_POLICIES = (
@@ -31,7 +32,7 @@ _DEFAULT_POLICIES = (
     description="Application bandwidth under each on-chip routing policy (§4.3).",
     parameters=(
         Parameter("design", str, default=NIDesign.SPLIT.value,
-                  choices=tuple(d.value for d in NIDesign.messaging_designs()),
+                  choices=tuple(NI_DESIGNS.names(messaging=True)),
                   help="messaging design to drive the NOC with"),
         Parameter("transfer_bytes", int, default=2048, help="remote-read transfer size"),
         Parameter("policies", str, default=tuple(p.value for p in _DEFAULT_POLICIES),

@@ -55,8 +55,11 @@ class Parameter:
     kind: type = str
     default: object = None
     help: str = ""
-    #: Legal values (after parsing); ``None`` means unconstrained.
-    choices: Optional[Tuple[object, ...]] = None
+    #: Legal values (after parsing); ``None`` means unconstrained.  A
+    #: zero-argument callable is evaluated at validation time, which lets
+    #: registry-backed parameters accept components registered after this
+    #: module was imported (e.g. third-party workloads).
+    choices: object = None
     #: Repeated parameters hold a sequence of scalars (e.g. transfer sizes).
     repeated: bool = False
 
@@ -125,19 +128,29 @@ class Parameter:
                 "parameter %r expects a %s value, got %r (%s)"
                 % (self.name, self.kind.__name__, value, type(value).__name__)
             )
-        if self.choices is not None and value not in self.choices:
+        choices = self.choice_values()
+        if choices is not None and value not in choices:
             raise ExperimentError(
                 "parameter %r must be one of %s, got %r"
-                % (self.name, ", ".join(repr(c) for c in self.choices), value)
+                % (self.name, ", ".join(repr(c) for c in choices), value)
             )
         return value
+
+    def choice_values(self) -> Optional[Tuple[object, ...]]:
+        """The legal values right now (late-bound choices are re-evaluated)."""
+        if self.choices is None:
+            return None
+        if callable(self.choices):
+            return tuple(self.choices())
+        return tuple(self.choices)
 
     def describe(self) -> str:
         """One-line human-readable summary (used by ``repro-experiments list``)."""
         parts = ["%s: %s%s" % (self.name, self.kind.__name__, "[]" if self.repeated else "")]
         parts.append("default=%r" % (self.default,))
-        if self.choices is not None:
-            parts.append("choices=%s" % ",".join(str(c) for c in self.choices))
+        choices = self.choice_values()
+        if choices is not None:
+            parts.append("choices=%s" % ",".join(str(c) for c in choices))
         if self.help:
             parts.append("- %s" % self.help)
         return " ".join(parts)

@@ -13,8 +13,15 @@ from typing import Dict, Iterable, List, Tuple
 
 from repro.config import RackConfig
 from repro.errors import TopologyError
+from repro.scenario.registry import register_topology
 
 Coord3 = Tuple[int, int, int]
+
+
+@register_topology("torus3d", scope="rack")
+def build_rack_torus(config) -> "Torus3D":
+    """3D-torus rack fabric (512 nodes, 8x8x8, fixed 35 ns per hop)."""
+    return Torus3D.from_config(config.rack)
 
 
 class Torus3D:

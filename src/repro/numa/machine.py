@@ -24,6 +24,7 @@ from repro.config import MessageClass, SystemConfig
 from repro.errors import ConfigurationError
 from repro.noc.fabric import NocFabric
 from repro.noc.mesh import MeshTopology
+from repro.scenario.registry import register_ni_design
 from repro.sim.engine import Simulator
 from repro.sonuma.unroll import block_count
 
@@ -36,6 +37,7 @@ class NumaLatencyComponent:
     cycles: float
 
 
+@register_ni_design("numa", label="NUMA", messaging=False)
 class NumaMachine:
     """Analytical + simulated model of the load/store baseline."""
 

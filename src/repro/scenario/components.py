@@ -1,0 +1,30 @@
+"""Built-in component registration.
+
+Importing this module imports every module that registers a built-in NI
+design, topology or workload; the registries in
+:mod:`repro.scenario.registry` import it lazily on first lookup so the
+component inventory is complete regardless of what the caller imported
+first.  Third-party components do not belong here — they register themselves
+when their own module is imported.
+"""
+
+from __future__ import annotations
+
+# NI designs (edge / per_tile / split register in their class modules; the
+# numa baseline registers in repro.numa.machine).
+from repro.core import edge as _edge  # noqa: F401
+from repro.core import per_tile as _per_tile  # noqa: F401
+from repro.core import split as _split  # noqa: F401
+from repro.numa import machine as _numa  # noqa: F401
+
+# Topologies (chip placements register in repro.core.placement; the rack
+# torus registers in repro.fabric.torus).
+from repro.core import placement as _placement  # noqa: F401
+from repro.fabric import torus as _torus  # noqa: F401
+
+# Workloads (the paper's three plus the registry-proven extensions).
+from repro.workloads import microbench as _microbench  # noqa: F401
+from repro.workloads import kvstore as _kvstore  # noqa: F401
+from repro.workloads import graphproc as _graphproc  # noqa: F401
+from repro.workloads import hotspot as _hotspot  # noqa: F401
+from repro.workloads import rwmix as _rwmix  # noqa: F401

@@ -20,12 +20,14 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
-from repro.config import NIDesign, SystemConfig
+from repro.config import NIDesign, SystemConfig, design_name
 from repro.errors import WorkloadError
 from repro.node.core_model import CoreModel
 from repro.node.soc import ManycoreSoc
 from repro.node.traffic import RemoteEndEmulator
 from repro.qp.entries import RemoteOp, WorkQueueEntry
+from repro.scenario.registry import register_workload
+from repro.scenario.workload import Workload
 
 GRAPH_CTX_ID = 0
 PARTITION_BYTES = 64 * 1024 * 1024
@@ -89,8 +91,20 @@ class SyntheticPowerLawGraph:
         return max(EDGE_BYTES * self.degree(vertex), EDGE_BYTES)
 
 
-class GraphTraversalWorkload:
+@register_workload("graph_traversal")
+class GraphTraversalWorkload(Workload):
     """Bounded BFS over a hash-partitioned synthetic graph."""
+
+    name = "graph_traversal"
+    param_defaults = {
+        "rack_nodes": None,
+        "active_cores": 4,
+        "max_vertices": 200,
+        "seed": 5,
+        "graph_vertices": 4096,
+        "graph_edges_per_vertex": 16,
+        "graph_seed": 3,
+    }
 
     def __init__(
         self,
@@ -101,7 +115,7 @@ class GraphTraversalWorkload:
         max_vertices: int = 200,
         seed: int = 5,
     ) -> None:
-        self.config = config if config is not None else SystemConfig.paper_defaults()
+        super().__init__(config)
         self.graph = graph if graph is not None else SyntheticPowerLawGraph()
         self.rack_nodes = rack_nodes if rack_nodes is not None else self.config.rack.nodes
         if active_cores <= 0 or active_cores > self.config.cores.count:
@@ -111,6 +125,21 @@ class GraphTraversalWorkload:
         self.active_cores = active_cores
         self.max_vertices = max_vertices
         self._rng = random.Random(seed)
+        self._cores: List[CoreModel] = []
+        self._stats = {"visited": 0, "remote": 0, "edges": 0, "bytes": 0}
+
+    @classmethod
+    def from_params(cls, config: Optional[SystemConfig] = None, **params: object) -> "GraphTraversalWorkload":
+        """Scenario construction: the graph shape is part of the parameters."""
+        cls.validate_params(params)
+        graph = SyntheticPowerLawGraph(
+            vertices=int(params.pop("graph_vertices", cls.param_defaults["graph_vertices"])),
+            edges_per_vertex=int(
+                params.pop("graph_edges_per_vertex", cls.param_defaults["graph_edges_per_vertex"])
+            ),
+            seed=int(params.pop("graph_seed", cls.param_defaults["graph_seed"])),
+        )
+        return cls(config=config, graph=graph, **params)
 
     def owner_node(self, vertex: int) -> int:
         """Hash partitioning of vertices across the rack."""
@@ -156,33 +185,66 @@ class GraphTraversalWorkload:
                 length=nbytes,
             )
 
-    def run(self) -> GraphResult:
-        """Traverse the graph and report edge throughput and fetch bandwidth."""
-        soc = ManycoreSoc(self.config)
-        soc.register_context(GRAPH_CTX_ID, PARTITION_BYTES)
+    # ------------------------------------------------------------------
+    # Workload lifecycle
+    # ------------------------------------------------------------------
+    def setup(self, machine) -> None:
+        self.machine = machine
+        machine.register_context(GRAPH_CTX_ID, PARTITION_BYTES)
         RemoteEndEmulator(
-            soc,
+            machine,
             hops=2,
             rate_match_incoming=True,
             incoming_ctx_id=GRAPH_CTX_ID,
             incoming_region_bytes=PARTITION_BYTES,
         )
         order = self._plan_traversal()
-        shards = [order[i::self.active_cores] for i in range(self.active_cores)]
-        stats = {"visited": 0, "remote": 0, "edges": 0, "bytes": 0}
-        for core_id, shard in enumerate(shards):
+        self._shards = [order[i::self.active_cores] for i in range(self.active_cores)]
+        self._stats = {"visited": 0, "remote": 0, "edges": 0, "bytes": 0}
+        self._cores = []
+        for core_id, shard in enumerate(self._shards):
             if not shard:
                 continue
-            qp = soc.create_queue_pair(core_id)
-            core = CoreModel(core_id, soc, qp)
-            core.start(self._entries_for_core(core_id, shard, stats), max_outstanding=8)
-        soc.run()
+            qp = machine.create_queue_pair(core_id)
+            self._cores.append(CoreModel(core_id, machine, qp))
+
+    def inject(self) -> None:
+        shards = {core_id: shard for core_id, shard in enumerate(self._shards) if shard}
+        for core in self._cores:
+            core.start(
+                self._entries_for_core(core.core_id, shards[core.core_id], self._stats),
+                max_outstanding=8,
+            )
+
+    def result(self) -> GraphResult:
+        """The finished run as the legacy typed result record."""
         return GraphResult(
             design=self.config.ni.design,
-            vertices_visited=stats["visited"],
-            remote_vertex_fetches=stats["remote"],
-            edges_traversed=stats["edges"],
-            bytes_fetched=stats["bytes"],
-            elapsed_cycles=soc.sim.now,
+            vertices_visited=self._stats["visited"],
+            remote_vertex_fetches=self._stats["remote"],
+            edges_traversed=self._stats["edges"],
+            bytes_fetched=self._stats["bytes"],
+            elapsed_cycles=self.machine.sim.now,
             frequency_ghz=self.config.cores.frequency_ghz,
         )
+
+    def metrics(self) -> dict:
+        result = self.result()
+        return {
+            "design": design_name(result.design),
+            "vertices_visited": result.vertices_visited,
+            "remote_vertex_fetches": result.remote_vertex_fetches,
+            "edges_traversed": result.edges_traversed,
+            "bytes_fetched": result.bytes_fetched,
+            "elapsed_cycles": result.elapsed_cycles,
+            "edges_per_microsecond": result.edges_per_microsecond,
+            "fetch_bandwidth_gbps": result.fetch_bandwidth_gbps,
+        }
+
+    def run(self) -> GraphResult:
+        """Traverse the graph and report edge throughput and fetch bandwidth."""
+        soc = ManycoreSoc(self.config)
+        self.setup(soc)
+        self.inject()
+        self.drain()
+        return self.result()

@@ -22,12 +22,14 @@ import random
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
-from repro.config import NIDesign, SystemConfig
+from repro.config import NIDesign, SystemConfig, design_name
 from repro.errors import WorkloadError
 from repro.node.core_model import CoreModel
 from repro.node.soc import ManycoreSoc
 from repro.node.traffic import RemoteEndEmulator
 from repro.qp.entries import RemoteOp, WorkQueueEntry
+from repro.scenario.registry import register_workload
+from repro.scenario.workload import Workload
 
 #: Context exporting each node's key-value partition.
 KV_CTX_ID = 0
@@ -98,8 +100,20 @@ class ZipfKeySampler:
         return self._rng.randrange(self.keys)
 
 
-class KeyValueStoreWorkload:
+@register_workload("kvstore")
+class KeyValueStoreWorkload(Workload):
     """Drives GET traffic from the cores of the simulated node."""
+
+    name = "kvstore"
+    param_defaults = {
+        "value_bytes": 512,
+        "keys": 1 << 20,
+        "rack_nodes": None,
+        "active_cores": 8,
+        "gets_per_core": 20,
+        "skew": 0.99,
+        "seed": 11,
+    }
 
     def __init__(
         self,
@@ -112,7 +126,7 @@ class KeyValueStoreWorkload:
         skew: float = 0.99,
         seed: int = 11,
     ) -> None:
-        self.config = config if config is not None else SystemConfig.paper_defaults()
+        super().__init__(config)
         if value_bytes <= 0:
             raise WorkloadError("value size must be positive")
         if active_cores <= 0 or active_cores > self.config.cores.count:
@@ -126,6 +140,8 @@ class KeyValueStoreWorkload:
         self.gets_per_core = gets_per_core
         self.sampler = ZipfKeySampler(keys, skew=skew, seed=seed)
         self._rng = random.Random(seed)
+        self._cores: List[CoreModel] = []
+        self._stats = {"gets": 0, "remote": 0, "local": 0}
 
     # ------------------------------------------------------------------
     # Key partitioning
@@ -161,38 +177,67 @@ class KeyValueStoreWorkload:
                 length=self.value_bytes,
             )
 
-    def run(self) -> KVStoreResult:
-        """Run the GET mix to completion and report throughput/latency."""
-        soc = ManycoreSoc(self.config)
-        soc.register_context(KV_CTX_ID, PARTITION_BYTES)
+    # ------------------------------------------------------------------
+    # Workload lifecycle
+    # ------------------------------------------------------------------
+    def setup(self, machine) -> None:
+        self.machine = machine
+        machine.register_context(KV_CTX_ID, PARTITION_BYTES)
         RemoteEndEmulator(
-            soc,
+            machine,
             hops=1,
             rate_match_incoming=True,
             incoming_ctx_id=KV_CTX_ID,
             incoming_region_bytes=PARTITION_BYTES,
         )
-        stats = {"gets": 0, "remote": 0, "local": 0}
-        cores: List[CoreModel] = []
+        self._stats = {"gets": 0, "remote": 0, "local": 0}
+        self._cores = []
         for core_id in range(self.active_cores):
-            qp = soc.create_queue_pair(core_id)
-            core = CoreModel(core_id, soc, qp)
-            core.start(self._entries_for_core(core_id, stats), max_outstanding=8)
-            cores.append(core)
-        soc.run()
+            qp = machine.create_queue_pair(core_id)
+            self._cores.append(CoreModel(core_id, machine, qp))
+
+    def inject(self) -> None:
+        for core in self._cores:
+            core.start(self._entries_for_core(core.core_id, self._stats), max_outstanding=8)
+
+    def result(self) -> KVStoreResult:
+        """The finished run as the legacy typed result record."""
         latencies: List[float] = []
-        for core in cores:
+        for core in self._cores:
             latencies.extend(core.latency.samples)
         mean = sum(latencies) / len(latencies) if latencies else 0.0
         p99 = sorted(latencies)[int(0.99 * (len(latencies) - 1))] if latencies else 0.0
         return KVStoreResult(
             design=self.config.ni.design,
             value_bytes=self.value_bytes,
-            gets_issued=stats["gets"],
-            remote_gets=stats["remote"],
-            local_gets=stats["local"],
-            elapsed_cycles=soc.sim.now,
+            gets_issued=self._stats["gets"],
+            remote_gets=self._stats["remote"],
+            local_gets=self._stats["local"],
+            elapsed_cycles=self.machine.sim.now,
             mean_latency_cycles=mean,
             p99_latency_cycles=p99,
             frequency_ghz=self.config.cores.frequency_ghz,
         )
+
+    def metrics(self) -> dict:
+        result = self.result()
+        return {
+            "design": design_name(result.design),
+            "value_bytes": result.value_bytes,
+            "gets_issued": result.gets_issued,
+            "remote_gets": result.remote_gets,
+            "local_gets": result.local_gets,
+            "remote_fraction": result.remote_fraction,
+            "elapsed_cycles": result.elapsed_cycles,
+            "throughput_mops": result.throughput_mops,
+            "mean_latency_ns": result.mean_latency_ns,
+            "p99_latency_cycles": result.p99_latency_cycles,
+        }
+
+    def run(self) -> KVStoreResult:
+        """Run the GET mix to completion and report throughput/latency."""
+        soc = ManycoreSoc(self.config)
+        self.setup(soc)
+        self.inject()
+        self.drain()
+        return self.result()

@@ -27,6 +27,8 @@ from repro.node.core_model import CoreModel
 from repro.node.soc import ManycoreSoc
 from repro.node.traffic import RemoteEndEmulator
 from repro.qp.entries import RemoteOp, WorkQueueEntry
+from repro.scenario.registry import register_workload
+from repro.scenario.workload import Workload
 from repro.sim.stats import WindowedMonitor
 
 #: Context id used for the benchmark's exported memory region.
@@ -130,6 +132,86 @@ def _read_entries(count: Optional[int], transfer_bytes: int, core_id: int,
         )
         offset += transfer_bytes
         produced += 1
+
+
+@register_workload("uniform_random")
+class UniformRandomReadWorkload(Workload):
+    """Asynchronous uniform-random remote reads from the active cores.
+
+    The scenario-lifecycle form of the paper's bandwidth microbenchmark:
+    every active core streams bounded asynchronous remote reads over the
+    64 MB remote region while the remote-end emulator rate-matches incoming
+    traffic, so both the RCP (local completions) and RRPP (remote servicing)
+    paths carry load.
+    """
+
+    name = "uniform_random"
+    param_defaults = {
+        "transfer_bytes": 512,
+        "active_cores": 0,  # 0 = every core of the configured chip
+        "ops_per_core": 32,
+        "max_outstanding": 8,
+        "hops": 1,
+    }
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        transfer_bytes: int = 512,
+        active_cores: int = 0,
+        ops_per_core: int = 32,
+        max_outstanding: int = 8,
+        hops: int = 1,
+    ) -> None:
+        super().__init__(config)
+        if transfer_bytes <= 0:
+            raise WorkloadError("transfer size must be positive")
+        if active_cores < 0 or active_cores > self.config.cores.count:
+            raise WorkloadError("active core count must be in [0, %d]" % self.config.cores.count)
+        if ops_per_core <= 0:
+            raise WorkloadError("need at least one operation per core")
+        if max_outstanding <= 0:
+            raise WorkloadError("max_outstanding must be positive")
+        self.transfer_bytes = transfer_bytes
+        self.active_cores = active_cores
+        self.ops_per_core = ops_per_core
+        self.max_outstanding = max_outstanding
+        self.hops = hops
+        self._cores: List[CoreModel] = []
+
+    # -- lifecycle -------------------------------------------------------
+    def setup(self, machine) -> None:
+        self.machine = machine
+        machine.register_context(BENCH_CTX_ID, BENCH_REGION_BYTES)
+        RemoteEndEmulator(
+            machine,
+            hops=self.hops,
+            rate_match_incoming=True,
+            incoming_ctx_id=BENCH_CTX_ID,
+            incoming_region_bytes=BENCH_REGION_BYTES,
+        )
+        self._cores = []
+        count = self.active_cores or machine.config.cores.count
+        for core_id in range(count):
+            qp = machine.create_queue_pair(core_id)
+            self._cores.append(CoreModel(core_id, machine, qp))
+
+    def inject(self) -> None:
+        for core in self._cores:
+            core.start(
+                _read_entries(self.ops_per_core, self.transfer_bytes, core.core_id),
+                max_outstanding=self.max_outstanding,
+            )
+
+    def metrics(self) -> dict:
+        stats = self.core_traffic_metrics(self._cores)
+        stats.update({
+            "transfer_bytes": self.transfer_bytes,
+            "active_cores": len(self._cores),
+            "noc_wire_bytes": self.machine.fabric.wire_bytes_sent,
+            "max_link_utilization": self.machine.fabric.max_link_utilization(),
+        })
+        return stats
 
 
 class RemoteReadLatencyBenchmark:

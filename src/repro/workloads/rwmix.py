@@ -1,0 +1,132 @@
+"""Mixed one-sided read/write QP stress.
+
+The paper's evaluation drives pure remote reads; soNUMA's WQ format also
+carries one-sided *writes*, whose wire pattern is inverted (request packets
+carry the payload blocks, responses are empty acknowledgements) and whose
+unrolling stresses the RGP backend's outbound path instead of the RCP's
+inbound path.  This workload issues a deterministic read/write mix with a
+configurable write fraction from every active core, exercising both pipeline
+directions — and both QP interaction patterns — at once.
+
+Registered as ``rw_mix``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from repro.config import SystemConfig
+from repro.errors import WorkloadError
+from repro.node.core_model import CoreModel
+from repro.node.traffic import RemoteEndEmulator
+from repro.qp.entries import RemoteOp, WorkQueueEntry
+from repro.scenario.registry import register_workload
+from repro.scenario.workload import Workload
+
+RWMIX_CTX_ID = 0
+REGION_BYTES = 64 * 1024 * 1024
+LOCAL_BUFFER_BASE = 0xD000_0000
+
+
+@register_workload("rw_mix")
+class ReadWriteMixWorkload(Workload):
+    """Interleaved one-sided reads and writes from the active cores."""
+
+    name = "rw_mix"
+    param_defaults = {
+        "transfer_bytes": 1024,
+        "active_cores": 8,
+        "ops_per_core": 32,
+        "write_fraction": 0.5,
+        "max_outstanding": 8,
+        "hops": 1,
+        "seed": 17,
+    }
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        transfer_bytes: int = 1024,
+        active_cores: int = 8,
+        ops_per_core: int = 32,
+        write_fraction: float = 0.5,
+        max_outstanding: int = 8,
+        hops: int = 1,
+        seed: int = 17,
+    ) -> None:
+        super().__init__(config)
+        if transfer_bytes <= 0:
+            raise WorkloadError("transfer size must be positive")
+        if active_cores <= 0 or active_cores > self.config.cores.count:
+            raise WorkloadError("active core count must be in [1, %d]" % self.config.cores.count)
+        if ops_per_core <= 0:
+            raise WorkloadError("need at least one operation per core")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise WorkloadError("write fraction must be in [0, 1]")
+        if max_outstanding <= 0:
+            raise WorkloadError("max_outstanding must be positive")
+        self.transfer_bytes = transfer_bytes
+        self.active_cores = active_cores
+        self.ops_per_core = ops_per_core
+        self.write_fraction = write_fraction
+        self.max_outstanding = max_outstanding
+        self.hops = hops
+        self.seed = seed
+        self._cores: List[CoreModel] = []
+        self._issued = {"read": 0, "write": 0}
+
+    def _entries_for_core(self, core_id: int) -> Iterator[WorkQueueEntry]:
+        rng = random.Random(self.seed * 7919 + core_id)
+        local_base = LOCAL_BUFFER_BASE + core_id * (1 << 21)
+        offset = (core_id * 524287 * self.transfer_bytes) % REGION_BYTES
+        for index in range(self.ops_per_core):
+            if offset + self.transfer_bytes > REGION_BYTES:
+                offset = 0
+            op = RemoteOp.WRITE if rng.random() < self.write_fraction else RemoteOp.READ
+            self._issued["write" if op is RemoteOp.WRITE else "read"] += 1
+            yield WorkQueueEntry(
+                op=op,
+                ctx_id=RWMIX_CTX_ID,
+                dst_node=1,
+                remote_offset=offset,
+                local_buffer=local_base + (index * self.transfer_bytes) % (1 << 21),
+                length=self.transfer_bytes,
+            )
+            offset += self.transfer_bytes
+
+    # ------------------------------------------------------------------
+    # Workload lifecycle
+    # ------------------------------------------------------------------
+    def setup(self, machine) -> None:
+        self.machine = machine
+        machine.register_context(RWMIX_CTX_ID, REGION_BYTES)
+        RemoteEndEmulator(
+            machine,
+            hops=self.hops,
+            rate_match_incoming=True,
+            incoming_ctx_id=RWMIX_CTX_ID,
+            incoming_region_bytes=REGION_BYTES,
+        )
+        self._issued = {"read": 0, "write": 0}
+        self._cores = []
+        for core_id in range(self.active_cores):
+            qp = machine.create_queue_pair(core_id)
+            self._cores.append(CoreModel(core_id, machine, qp))
+
+    def inject(self) -> None:
+        for core in self._cores:
+            core.start(self._entries_for_core(core.core_id), max_outstanding=self.max_outstanding)
+
+    def metrics(self) -> dict:
+        stats = self.core_traffic_metrics(self._cores)
+        stats.update({
+            "transfer_bytes": self.transfer_bytes,
+            "active_cores": self.active_cores,
+            "write_fraction": self.write_fraction,
+            "reads_issued": self._issued["read"],
+            "writes_issued": self._issued["write"],
+            "offchip_request_bytes": self.machine.offchip_request_bytes,
+            "offchip_response_bytes": self.machine.offchip_response_bytes,
+        })
+        return stats

@@ -40,9 +40,35 @@ class TestList:
     def test_list_json_catalog(self, capsys):
         assert main(["list", "--json"]) == 0
         catalog = json.loads(capsys.readouterr().out)
-        by_name = {item["name"]: item for item in catalog}
+        assert catalog["schema"] == "repro-catalog/1"
+        by_name = {item["name"]: item for item in catalog["experiments"]}
         assert by_name["fig6"]["parameters"][0]["choices"] == ["edge", "per_tile", "split"]
         assert by_name["table1"]["fast"] is True
+
+    def test_list_json_registries(self, capsys):
+        assert main(["list", "--json"]) == 0
+        registries = json.loads(capsys.readouterr().out)["registries"]
+        assert len(registries["designs"]) >= 4
+        assert len(registries["topologies"]) >= 3
+        assert len(registries["workloads"]) >= 5
+        designs = {item["name"]: item for item in registries["designs"]}
+        assert designs["numa"]["messaging"] is False
+        assert designs["split"]["label"] == "NIsplit"
+        workloads = {item["name"]: item for item in registries["workloads"]}
+        assert "transfer_bytes" in workloads["hotspot"]["parameters"]
+
+    def test_list_registry_flags(self, capsys):
+        assert main(["list", "--workloads"]) == 0
+        output = capsys.readouterr().out
+        assert "hotspot" in output and "rw_mix" in output
+        assert "fig6" not in output  # experiments suppressed by the flag
+
+    def test_scenario_run_with_workload_override(self, capsys):
+        assert main(["run", "scenario", "--set", "workload=hotspot",
+                     "--set", "params=active_cores=2,ops_per_core=4"]) == 0
+        output = capsys.readouterr().out
+        assert "hotspot@split/mesh" in output
+        assert "application_gbps" in output
 
 
 class TestRun:

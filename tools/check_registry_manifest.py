@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""CI guard: validate the registry inventory against the checked-in manifest.
+
+Runs ``repro-experiments list --json`` in-process and compares the component
+registries and experiment names it reports against
+``tests/data/registry_manifest.json``.  An accidental component removal (or
+an addition without a manifest update) fails the build with a diff-style
+message.
+
+Usage::
+
+    python tools/check_registry_manifest.py [--inventory CATALOG.json] [MANIFEST_PATH]
+
+With ``--inventory`` the catalog JSON previously written by
+``repro-experiments list --json CATALOG.json`` is validated; without it the
+catalog is generated in-process.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+from contextlib import redirect_stdout
+
+DEFAULT_MANIFEST = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tests", "data", "registry_manifest.json",
+)
+
+
+def catalog_inventory(inventory_path: str = None) -> dict:
+    """The inventory, from a saved catalog file or the in-process CLI."""
+    if inventory_path is not None:
+        with open(inventory_path, "r", encoding="utf-8") as handle:
+            catalog = json.load(handle)
+    else:
+        from repro.cli import main
+
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            status = main(["list", "--json"])
+        if status != 0:
+            raise SystemExit("repro-experiments list --json failed with status %d" % status)
+        catalog = json.loads(buffer.getvalue())
+    return {
+        "designs": [item["name"] for item in catalog["registries"]["designs"]],
+        "topologies": [item["name"] for item in catalog["registries"]["topologies"]],
+        "workloads": [item["name"] for item in catalog["registries"]["workloads"]],
+        "experiments": [item["name"] for item in catalog["experiments"]],
+    }
+
+
+def main(argv: list) -> int:
+    inventory_path = None
+    if "--inventory" in argv:
+        index = argv.index("--inventory")
+        try:
+            inventory_path = argv[index + 1]
+        except IndexError:
+            raise SystemExit("--inventory requires a path argument")
+        argv = argv[:index] + argv[index + 2:]
+    manifest_path = argv[0] if argv else DEFAULT_MANIFEST
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    actual = catalog_inventory(inventory_path)
+    failures = []
+    for key, names in actual.items():
+        expected = manifest.get(key, [])
+        missing = sorted(set(expected) - set(names))
+        extra = sorted(set(names) - set(expected))
+        if missing:
+            failures.append("%s: missing from the live registry: %s" % (key, ", ".join(missing)))
+        if extra:
+            failures.append("%s: not in the manifest: %s" % (key, ", ".join(extra)))
+    if failures:
+        print("registry inventory drifted from %s" % manifest_path, file=sys.stderr)
+        for failure in failures:
+            print("  " + failure, file=sys.stderr)
+        print("update tests/data/registry_manifest.json if the change is intentional",
+              file=sys.stderr)
+        return 1
+    print("registry inventory matches %s (%d designs, %d topologies, %d workloads, "
+          "%d experiments)" % (
+              manifest_path, len(actual["designs"]), len(actual["topologies"]),
+              len(actual["workloads"]), len(actual["experiments"])))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
