@@ -14,8 +14,16 @@ parameters.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
+
 from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import get_spec
+
+#: Schema tag of the machine-readable perf baseline the benchmarks write.
+BASELINE_SCHEMA = "repro-perf-baseline/1"
 
 #: Warm-up and measurement windows (cycles) for bandwidth benchmarks.
 BENCH_WARMUP_CYCLES = 3_000
@@ -34,3 +42,40 @@ LATENCY_WARMUP = 1
 def run_spec(name: str, **params: object) -> ExperimentResult:
     """Run a registered experiment through its spec (validates the overrides)."""
     return get_spec(name).run(**params)
+
+
+def baseline_path() -> str:
+    """Where the perf baseline JSON lives (``$PERF_BASELINE_PATH`` overrides)."""
+    return os.environ.get(
+        "PERF_BASELINE_PATH",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "perf_baseline.json"),
+    )
+
+
+def record_baseline(name: str, payload: dict) -> None:
+    """Merge one benchmark's counters into the baseline file.
+
+    Read-merge-write (rather than a module-global accumulated dict) keeps the
+    file complete when tests are selected individually or split across
+    pytest-xdist workers.
+    """
+    benchmarks: dict = {}
+    path = baseline_path()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if existing.get("schema") == BASELINE_SCHEMA:
+            benchmarks = dict(existing.get("benchmarks", {}))
+    except (OSError, ValueError):
+        pass
+    benchmarks[name] = payload
+    document = {
+        "schema": BASELINE_SCHEMA,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": benchmarks,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 import time
 
 import pytest
 
+from bench_params import BASELINE_SCHEMA, baseline_path as _baseline_path, \
+    record_baseline as _record
 from repro.config import MessageClass, SystemConfig
 from repro.noc.fabric import NocFabric
 from repro.noc.mesh import MeshTopology
@@ -35,44 +36,6 @@ KERNEL_EVENTS = 200_000
 INJECTED_PACKETS = 40_000
 #: Operations per core driven by the scenario-composition benchmark.
 SCENARIO_OPS_PER_CORE = 32
-
-BASELINE_SCHEMA = "repro-perf-baseline/1"
-
-
-def _baseline_path() -> str:
-    return os.environ.get(
-        "PERF_BASELINE_PATH",
-        os.path.join(os.path.dirname(os.path.abspath(__file__)), "perf_baseline.json"),
-    )
-
-
-def _record(name: str, payload: dict) -> None:
-    """Merge one benchmark's counters into the baseline file.
-
-    Read-merge-write (rather than a module-global accumulated dict) keeps the
-    file complete when tests are selected individually or split across
-    pytest-xdist workers.
-    """
-    benchmarks: dict = {}
-    path = _baseline_path()
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            existing = json.load(handle)
-        if existing.get("schema") == BASELINE_SCHEMA:
-            benchmarks = dict(existing.get("benchmarks", {}))
-    except (OSError, ValueError):
-        pass
-    benchmarks[name] = payload
-    document = {
-        "schema": BASELINE_SCHEMA,
-        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "benchmarks": benchmarks,
-    }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2)
-        handle.write("\n")
 
 
 def test_bench_event_kernel():

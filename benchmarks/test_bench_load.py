@@ -1,0 +1,46 @@
+"""Benchmark of the open-loop load subsystem, feeding the perf baseline.
+
+Runs a scaled-down ``load_sweep`` (two load points, one below and one beyond
+the default scenario's saturation knee) through the declarative spec
+registry, so the baseline tracks the cost of the whole open-loop path:
+arrival-clock event scheduling, bounded-queue feeding, exact-histogram
+latency recording and the SLO evaluation.
+"""
+
+from __future__ import annotations
+
+from bench_params import record_baseline, run_spec
+from repro.sim import perf
+
+#: One pre-knee and one post-knee offered load (requests per kcycle).
+SWEEP_LOADS = (5.0, 40.0)
+BENCH_WARMUP_CYCLES = 2_000.0
+BENCH_MEASURE_CYCLES = 8_000.0
+
+
+def test_bench_load_sweep():
+    """Scaled-down saturation sweep of the default kvstore/split scenario."""
+    with perf.session() as session:
+        result = run_spec(
+            "load_sweep",
+            loads=SWEEP_LOADS,
+            warmup_cycles=BENCH_WARMUP_CYCLES,
+            measure_cycles=BENCH_MEASURE_CYCLES,
+        )
+    assert len(result.rows) == len(SWEEP_LOADS)
+    assert result.metadata.events["requests_completed"] > 0
+    assert session.events_per_s > 0
+    injected = result.metadata.events["requests_injected"]
+    record_baseline("load_sweep", {
+        "load_points": result.metadata.events["load_points"],
+        "requests_injected": injected,
+        "requests_completed": result.metadata.events["requests_completed"],
+        "p99_ns_low_load": result.rows[0][result.headers.index("p99 (ns)")],
+        "p99_ns_high_load": result.rows[-1][result.headers.index("p99 (ns)")],
+        "events": session.events,
+        "wall_s": session.wall_s,
+        "events_per_s": session.events_per_s,
+        "peak_pending_events": session.peak_pending_events,
+    })
+    print("\nload sweep: %.0f events/s (%d requests in %.3f s)"
+          % (session.events_per_s, injected, session.wall_s))

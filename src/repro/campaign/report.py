@@ -113,6 +113,25 @@ class CampaignReport:
                 )
         return collected
 
+    @property
+    def saturation_points(self) -> List[str]:
+        """Saturation-throughput findings gathered across the campaign.
+
+        ``load_sweep`` results note their SLO saturation point; a sweep over
+        designs/topologies/arrival processes therefore ends with one line per
+        scenario, which is the headline comparison the paper's
+        latency-under-load figures make.
+        """
+        collected: List[str] = []
+        for entry in self.entries:
+            if entry.ok:
+                collected.extend(
+                    "%s: %s" % (entry.request.label(), note)
+                    for note in entry.result.notes
+                    if note.startswith("saturation throughput")
+                )
+        return collected
+
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
@@ -125,6 +144,11 @@ class CampaignReport:
         warnings = self.warnings
         if warnings:
             parts.append("\n".join("warning: %s" % warning for warning in warnings))
+        saturation = self.saturation_points
+        if len(saturation) > 1:
+            # Only worth repeating as a cross-run digest when the campaign
+            # compared several load sweeps (single results carry the note).
+            parts.append("\n".join(saturation))
         parts.append(self.summary())
         return "\n\n".join(parts)
 

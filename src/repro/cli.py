@@ -51,7 +51,8 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser(
-        "list", help="list available experiments, designs, topologies and workloads")
+        "list", help="list available experiments, designs, topologies, workloads "
+                     "and arrival processes")
     list_parser.add_argument("--json", nargs="?", const="-", metavar="PATH", default=None,
                              help="emit the experiment + component catalog as JSON "
                                   "(to PATH, or stdout)")
@@ -61,6 +62,8 @@ def build_parser() -> argparse.ArgumentParser:
                              help="list only the registered topologies")
     list_parser.add_argument("--workloads", action="store_true",
                              help="list only the registered workloads")
+    list_parser.add_argument("--arrivals", action="store_true",
+                             help="list only the registered arrival processes")
 
     run_parser = subparsers.add_parser("run", help="run experiments once each")
     run_parser.add_argument("experiments", nargs="*",
@@ -135,7 +138,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 # ----------------------------------------------------------------------
 def _registry_catalog() -> Dict[str, List[Dict[str, object]]]:
     """The component registries as a JSON-native inventory."""
-    from repro.scenario.registry import NI_DESIGNS, TOPOLOGIES, WORKLOADS
+    from repro.scenario.registry import ARRIVALS, NI_DESIGNS, TOPOLOGIES, WORKLOADS
 
     designs = [
         {
@@ -154,18 +157,22 @@ def _registry_catalog() -> Dict[str, List[Dict[str, object]]]:
         }
         for entry in TOPOLOGIES.entries()
     ]
-    workloads = [
-        {
-            "name": entry.name,
-            "parameters": {
-                key: list(value) if isinstance(value, tuple) else value
-                for key, value in dict(entry.component.param_defaults).items()
-            },
-            "summary": entry.summary,
-        }
-        for entry in WORKLOADS.entries()
-    ]
-    return {"designs": designs, "topologies": topologies, "workloads": workloads}
+    def parameterized(registry) -> List[Dict[str, object]]:
+        # Workloads and arrival processes share the param_defaults protocol.
+        return [
+            {
+                "name": entry.name,
+                "parameters": {
+                    key: list(value) if isinstance(value, tuple) else value
+                    for key, value in dict(entry.component.param_defaults).items()
+                },
+                "summary": entry.summary,
+            }
+            for entry in registry.entries()
+        ]
+
+    return {"designs": designs, "topologies": topologies,
+            "workloads": parameterized(WORKLOADS), "arrivals": parameterized(ARRIVALS)}
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -203,6 +210,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         ("NI designs", "designs", args.designs),
         ("Topologies", "topologies", args.topologies),
         ("Workloads", "workloads", args.workloads),
+        ("Arrival processes", "arrivals", args.arrivals),
     ]
     only_registries = any(flag for _, _, flag in selected)
     if not only_registries:
@@ -220,7 +228,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 details.append("messaging" if item["messaging"] else "load/store baseline")
             elif key == "topologies":
                 details.append("%s-scope" % item["scope"])
-            else:
+            else:  # workloads and arrival processes both declare parameters
                 details.append("params: %s" % (", ".join(sorted(item["parameters"])) or "none"))
             summary = (" - %s" % item["summary"]) if item["summary"] else ""
             print("  %s (%s)%s" % (item["name"], "; ".join(details), summary))

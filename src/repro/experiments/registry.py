@@ -20,6 +20,7 @@ from repro.experiments import fig6 as _fig6  # noqa: F401
 from repro.experiments import fig7 as _fig7  # noqa: F401
 from repro.experiments import fig9 as _fig9  # noqa: F401
 from repro.experiments import fig10 as _fig10  # noqa: F401
+from repro.experiments import load_sweep as _load_sweep  # noqa: F401
 from repro.experiments import owned_state_ablation as _owned  # noqa: F401
 from repro.experiments import routing_ablation as _routing  # noqa: F401
 from repro.experiments import scenario_run as _scenario  # noqa: F401

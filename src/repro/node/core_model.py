@@ -20,7 +20,8 @@ runs use the full WQ depth).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, Optional
+from collections import deque
+from typing import Callable, Deque, Dict, Iterator, Optional
 
 from repro.errors import WorkloadError
 from repro.qp.entries import WorkQueueEntry
@@ -41,10 +42,17 @@ class CoreModel:
         self.frontend = soc.ni.frontend_for_core(core_id)
         soc.register_completion_listener(core_id, self._on_cq_notification)
         # Measurements
+        #: When True, (re)created latency recorders use the exact-histogram
+        #: mode so tail percentiles cover every completion (open-loop runs).
+        self.latency_exact = False
         self.latency = LatencyRecorder("core%d-e2e" % core_id)
         self.issued_ops = 0
         self.completed_ops = 0
         self.completed_bytes = 0
+        #: posted_at of the most recently completed operation (None when the
+        #: posting time was unknown); lets on_op_complete listeners attribute
+        #: the completion to a measurement window.
+        self.last_completion_posted_at: Optional[float] = None
         # Internal state
         self._posted_times: Dict[int, float] = {}
         self._outstanding = 0
@@ -52,6 +60,9 @@ class CoreModel:
         self._cq_pending = 0
         self._stopped = False
         self._issue_source: Optional[Iterator[WorkQueueEntry]] = None
+        #: Open-loop feed: entries pushed by a driver on its arrival clock.
+        #: None in closed-loop mode (the default).
+        self._open_queue: Optional[Deque[WorkQueueEntry]] = None
         self._max_outstanding = qp.wq.capacity
         self._on_op_complete: Optional[Callable[["CoreModel"], None]] = None
 
@@ -73,10 +84,49 @@ class CoreModel:
         if max_outstanding is not None and max_outstanding <= 0:
             raise WorkloadError("max_outstanding must be positive")
         self._issue_source = entry_source
+        self._open_queue = None
         self._max_outstanding = max_outstanding or self.qp.wq.capacity
         self._on_op_complete = on_op_complete
         self._stopped = False
         self.sim.schedule(0, self._try_work)
+
+    def open_loop(
+        self,
+        max_outstanding: Optional[int] = None,
+        on_op_complete: Optional[Callable[["CoreModel"], None]] = None,
+    ) -> None:
+        """Switch to open-loop mode: entries arrive via :meth:`feed`.
+
+        Unlike :meth:`start`'s pull iterator — whose exhaustion permanently
+        retires the core — an empty open-loop queue just means the core idles
+        until the driver's arrival clock feeds the next request.
+        """
+        if max_outstanding is not None and max_outstanding <= 0:
+            raise WorkloadError("max_outstanding must be positive")
+        self._issue_source = None
+        self._open_queue = deque()
+        self._max_outstanding = max_outstanding or self.qp.wq.capacity
+        self._on_op_complete = on_op_complete
+        self._stopped = False
+
+    def feed(self, entry: WorkQueueEntry) -> None:
+        """Hand the core one open-loop request (stamped with its arrival time).
+
+        The entry's ``posted_at`` is set to *now* — the arrival instant — so
+        the recorded end-to-end latency includes any time spent waiting in
+        the core's queue, which is exactly the component that explodes as
+        offered load approaches saturation.
+        """
+        if self._open_queue is None:
+            raise WorkloadError("core %d is not in open-loop mode" % self.core_id)
+        entry.posted_at = self.sim.now
+        self._open_queue.append(entry)
+        self._try_work()
+
+    @property
+    def queued(self) -> int:
+        """Open-loop requests accepted but not yet picked up by the core."""
+        return len(self._open_queue) if self._open_queue is not None else 0
 
     def stop(self) -> None:
         """Stop issuing new operations (in-flight ones still complete)."""
@@ -84,10 +134,15 @@ class CoreModel:
 
     def reset_measurements(self) -> None:
         """Drop throughput/latency counters (end of warm-up)."""
-        self.latency = LatencyRecorder("core%d-e2e" % self.core_id)
+        self.latency = LatencyRecorder("core%d-e2e" % self.core_id, exact=self.latency_exact)
         self.issued_ops = 0
         self.completed_ops = 0
         self.completed_bytes = 0
+
+    def use_exact_latency(self) -> None:
+        """Record latencies into an exact histogram from now on (drops samples)."""
+        self.latency_exact = True
+        self.reset_measurements()
 
     @property
     def outstanding(self) -> int:
@@ -105,20 +160,28 @@ class CoreModel:
         if self._cq_pending > 0 and not self.qp.cq.is_empty():
             self._begin_poll()
             return
-        if self._stopped or self._issue_source is None:
+        if self._stopped or (self._issue_source is None and self._open_queue is None):
             return
         if self._outstanding >= self._max_outstanding or self.qp.wq.is_full():
             return
-        entry = next(self._issue_source, None)
-        if entry is None:
-            self._issue_source = None
-            return
+        if self._open_queue is not None:
+            if not self._open_queue:
+                return  # idle until the next open-loop arrival
+            entry = self._open_queue.popleft()
+        else:
+            entry = next(self._issue_source, None)
+            if entry is None:
+                self._issue_source = None
+                return
         self._begin_issue(entry)
 
     # -- issue path ------------------------------------------------------
     def _begin_issue(self, entry: WorkQueueEntry) -> None:
         self._busy = True
-        entry.posted_at = self.sim.now
+        if self._open_queue is None:
+            # Closed loop: the entry is created the instant the core issues
+            # it.  Open-loop entries were already stamped at arrival (feed()).
+            entry.posted_at = self.sim.now
         self.sim.schedule(self.calibration.wq_write_instruction_cycles, self._store_wq_entry, entry)
 
     def _store_wq_entry(self, entry: WorkQueueEntry) -> None:
@@ -159,6 +222,7 @@ class CoreModel:
         if not self.qp.wq.is_empty():
             self.qp.wq.pop()  # a completion frees one WQ slot
         posted_at = self._posted_times.pop(cq_entry.wq_index, None)
+        self.last_completion_posted_at = posted_at
         if posted_at is not None:
             self.latency.add(self.sim.now - posted_at)
         self._outstanding = max(0, self._outstanding - 1)

@@ -41,6 +41,18 @@ class RemoteEndEmulator:
     ) -> None:
         if hops < 0:
             raise WorkloadError("hop count cannot be negative")
+        if rate_match_incoming:
+            # Validate the rate-matching configuration now: discovering a
+            # missing region size on the first incoming request would waste a
+            # whole warm-up before failing mid-simulation.
+            if incoming_region_bytes is None:
+                raise WorkloadError(
+                    "rate matching requires incoming_region_bytes (the exported context size)"
+                )
+            if incoming_region_bytes <= 0:
+                raise WorkloadError(
+                    "incoming_region_bytes must be positive, got %r" % (incoming_region_bytes,)
+                )
         self.soc = soc
         self.sim = soc.sim
         self.config: SystemConfig = soc.config
@@ -105,10 +117,6 @@ class RemoteEndEmulator:
 
     def _generate_incoming_request(self) -> None:
         region = self.incoming_region_bytes
-        if region is None:
-            raise WorkloadError(
-                "rate matching requires incoming_region_bytes (the exported context size)"
-            )
         block_bytes = self.config.cache_block_bytes
         blocks = max(1, region // block_bytes)
         offset = self._rng.randrange(blocks) * block_bytes

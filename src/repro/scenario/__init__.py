@@ -4,13 +4,14 @@ This subsystem makes every axis of the paper's design space a first-class,
 registry-backed extension point:
 
 * **Component registries** (:mod:`repro.scenario.registry`) — NI designs,
-  topologies and workloads register themselves by name with decorators
-  (``@register_ni_design("edge")``, ``@register_topology("mesh")``,
-  ``@register_workload("uniform_random")``).  The machine factory, the CLI
-  (``repro-experiments list --designs/--topologies/--workloads``) and the
-  experiment layer all enumerate and resolve components through these
-  registries, so a new design/topology/workload never requires editing core
-  modules.
+  topologies, workloads and open-loop arrival processes register themselves
+  by name with decorators (``@register_ni_design("edge")``,
+  ``@register_topology("mesh")``, ``@register_workload("uniform_random")``,
+  ``@register_arrival_process("poisson")``).  The machine factory, the CLI
+  (``repro-experiments list --designs/--topologies/--workloads/--arrivals``)
+  and the experiment layer all enumerate and resolve components through
+  these registries, so a new design/topology/workload/arrival process never
+  requires editing core modules.
 * **Declarative specs** (:mod:`repro.scenario.spec`) — a
   :class:`ScenarioSpec` names a design + topology + workload (+ parameter
   and config overrides), round-trips through JSON and carries a stable
@@ -25,11 +26,13 @@ Registering and running a custom workload takes ~15 lines; see the
 """
 
 from repro.scenario.registry import (
+    ARRIVALS,
     NI_DESIGNS,
     TOPOLOGIES,
     WORKLOADS,
     ComponentRegistry,
     RegistryEntry,
+    register_arrival_process,
     register_ni_design,
     register_topology,
     register_workload,
@@ -50,9 +53,11 @@ _LAZY = {
 __all__ = [
     "ComponentRegistry",
     "RegistryEntry",
+    "ARRIVALS",
     "NI_DESIGNS",
     "TOPOLOGIES",
     "WORKLOADS",
+    "register_arrival_process",
     "register_ni_design",
     "register_topology",
     "register_workload",

@@ -182,7 +182,7 @@ class ComponentRegistry:
 
 
 # ----------------------------------------------------------------------
-# The three scenario axes
+# The four scenario axes
 # ----------------------------------------------------------------------
 #: NI placements: assembly classes building the chip's RGP/RCP/RRPP pipelines
 #: (metadata ``messaging=False`` marks the load/store NUMA baseline).
@@ -193,6 +193,11 @@ TOPOLOGIES = ComponentRegistry("topology")
 #: Workload classes implementing the :class:`repro.scenario.workload.Workload`
 #: lifecycle (setup / inject / drain / metrics).
 WORKLOADS = ComponentRegistry("workload")
+#: Open-loop arrival processes (:class:`repro.load.arrivals.ArrivalProcess`
+#: subclasses) used by the load subsystem's :class:`OpenLoopDriver`; the
+#: built-ins live in :mod:`repro.load.arrivals`, hence the distinct populate
+#: module.
+ARRIVALS = ComponentRegistry("arrival process", populate="repro.load.arrivals")
 
 
 def register_ni_design(name: str, **metadata: object):
@@ -208,3 +213,8 @@ def register_topology(name: str, **metadata: object):
 def register_workload(name: str, **metadata: object):
     """Register a workload class, e.g. ``@register_workload("uniform_random")``."""
     return WORKLOADS.register(name, **metadata)
+
+
+def register_arrival_process(name: str, **metadata: object):
+    """Register an arrival process, e.g. ``@register_arrival_process("poisson")``."""
+    return ARRIVALS.register(name, **metadata)

@@ -29,7 +29,7 @@ from typing import Dict, Mapping, Optional
 
 from repro.config import SystemConfig
 from repro.errors import ScenarioError
-from repro.scenario.registry import NI_DESIGNS, TOPOLOGIES, WORKLOADS
+from repro.scenario.registry import ARRIVALS, NI_DESIGNS, TOPOLOGIES, WORKLOADS
 
 
 def _jsonable(value: object) -> object:
@@ -56,6 +56,12 @@ class ScenarioSpec:
     workload_params: Mapping[str, object] = field(default_factory=dict)
     #: Dotted-path SystemConfig overrides, e.g. ``{"cores.count": 16}``.
     config_overrides: Mapping[str, object] = field(default_factory=dict)
+    #: Open-loop arrival process (``ARRIVALS`` registry name); None means the
+    #: scenario runs closed-loop.  Only the load subsystem's OpenLoopDriver
+    #: acts on these fields — MachineBuilder ignores them.
+    arrivals: Optional[str] = None
+    #: Overrides for the arrival process's declared parameters.
+    arrival_params: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         # Canonicalize names through the registries (raises RegistryError —
@@ -65,6 +71,11 @@ class ScenarioSpec:
         object.__setattr__(self, "workload", WORKLOADS.resolve(self.workload))
         object.__setattr__(self, "workload_params", _jsonable(dict(self.workload_params)))
         object.__setattr__(self, "config_overrides", _jsonable(dict(self.config_overrides)))
+        if self.arrivals is not None:
+            object.__setattr__(self, "arrivals", ARRIVALS.resolve(self.arrivals))
+        elif self.arrival_params:
+            raise ScenarioError("arrival_params given without an arrivals process name")
+        object.__setattr__(self, "arrival_params", _jsonable(dict(self.arrival_params)))
 
     # ------------------------------------------------------------------
     # Derivation
@@ -113,16 +124,23 @@ class ScenarioSpec:
     # Serialization / identity
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        return {
+        document: Dict[str, object] = {
             "design": self.design,
             "topology": self.topology,
             "workload": self.workload,
             "workload_params": dict(self.workload_params),
             "config_overrides": dict(self.config_overrides),
         }
+        # Closed-loop specs serialize exactly as before the load subsystem
+        # existed, so their fingerprints (and cached results) stay valid.
+        if self.arrivals is not None:
+            document["arrivals"] = self.arrivals
+            document["arrival_params"] = dict(self.arrival_params)
+        return document
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "ScenarioSpec":
+        arrivals = payload.get("arrivals")
         try:
             return cls(
                 design=str(payload.get("design", "split")),
@@ -130,6 +148,8 @@ class ScenarioSpec:
                 workload=str(payload.get("workload", "uniform_random")),
                 workload_params=dict(payload.get("workload_params", {})),
                 config_overrides=dict(payload.get("config_overrides", {})),
+                arrivals=str(arrivals) if arrivals is not None else None,
+                arrival_params=dict(payload.get("arrival_params", {})),
             )
         except (TypeError, ValueError) as exc:
             raise ScenarioError("malformed scenario document: %s" % exc) from None

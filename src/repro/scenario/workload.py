@@ -23,7 +23,7 @@ built.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 from repro.config import SystemConfig, design_name
 from repro.errors import WorkloadError
@@ -68,6 +68,34 @@ class Workload(abc.ABC):
     @abc.abstractmethod
     def metrics(self) -> Dict[str, object]:
         """JSON-native measurements of the finished run."""
+
+    # ------------------------------------------------------------------
+    # Open-loop driving (optional)
+    # ------------------------------------------------------------------
+    def request_stream(self, core_id: int) -> Iterator:
+        """An *endless* per-core stream of WQ entries for open-loop driving.
+
+        The :class:`repro.load.driver.OpenLoopDriver` calls this after
+        :meth:`setup` and pulls exactly one entry per arrival of its arrival
+        clock, instead of running :meth:`inject`'s closed-loop iterators.
+        Workloads whose traffic is inherently self-limiting (e.g. a bounded
+        graph traversal) leave this unimplemented.
+        """
+        raise WorkloadError(
+            "workload %r does not support open-loop driving "
+            "(no request_stream implementation)" % (self.name or type(self).__name__,)
+        )
+
+    @property
+    def driven_cores(self) -> List:
+        """The :class:`CoreModel` objects this workload drives (post-setup).
+
+        The default returns ``self._cores``, the attribute every built-in
+        workload populates in :meth:`setup`; a workload that stores its cores
+        elsewhere must override this property for open-loop driving to find
+        them.
+        """
+        return list(getattr(self, "_cores", []))
 
     # ------------------------------------------------------------------
     # Convenience

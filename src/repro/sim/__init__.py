@@ -14,6 +14,7 @@ from repro.sim.stats import (
     StatAccumulator,
     ThroughputMeter,
     WindowedMonitor,
+    LatencyHistogram,
     LatencyRecorder,
 )
 
@@ -27,5 +28,6 @@ __all__ = [
     "StatAccumulator",
     "ThroughputMeter",
     "WindowedMonitor",
+    "LatencyHistogram",
     "LatencyRecorder",
 ]

@@ -87,13 +87,16 @@ class HotspotReadWorkload(Workload):
         block = self.config.cache_block_bytes
         return max(self.hot_blocks * block, self.transfer_bytes)
 
-    def _entries_for_core(self, core_id: int) -> Iterator[WorkQueueEntry]:
+    def _entries_for_core(self, core_id: int,
+                          count: Optional[int]) -> Iterator[WorkQueueEntry]:
+        """Hot-window read entries for one core (``count=None`` = endless)."""
         rng = random.Random(self.seed * 1000003 + core_id)
         block = self.config.cache_block_bytes
         window = self.hot_window_bytes
         slots = max(1, (window - self.transfer_bytes) // block + 1)
         local_base = LOCAL_BUFFER_BASE + core_id * (1 << 21)
-        for index in range(self.ops_per_core):
+        index = 0
+        while count is None or index < count:
             yield WorkQueueEntry(
                 op=RemoteOp.READ,
                 ctx_id=HOTSPOT_CTX_ID,
@@ -102,6 +105,7 @@ class HotspotReadWorkload(Workload):
                 local_buffer=local_base + (index * self.transfer_bytes) % (1 << 21),
                 length=self.transfer_bytes,
             )
+            index += 1
 
     # ------------------------------------------------------------------
     # Workload lifecycle
@@ -125,7 +129,12 @@ class HotspotReadWorkload(Workload):
 
     def inject(self) -> None:
         for core in self._cores:
-            core.start(self._entries_for_core(core.core_id), max_outstanding=self.max_outstanding)
+            core.start(self._entries_for_core(core.core_id, self.ops_per_core),
+                       max_outstanding=self.max_outstanding)
+
+    def request_stream(self, core_id: int) -> Iterator[WorkQueueEntry]:
+        """Endless hot-window reads for open-loop driving."""
+        return self._entries_for_core(core_id, None)
 
     def metrics(self) -> dict:
         stats = self.core_traffic_metrics(self._cores)

@@ -158,24 +158,47 @@ class KeyValueStoreWorkload(Workload):
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _entries_for_core(self, core_id: int, stats: dict) -> Iterator[WorkQueueEntry]:
+    def _entries_for_core(self, core_id: int, stats: dict,
+                          count: Optional[int]) -> Iterator[WorkQueueEntry]:
+        """Remote-GET entries for one core (``count`` sampled GET attempts;
+        ``None`` = endless).  Local keys are counted and skipped — they are
+        served from local memory and carry no remote latency."""
         local_node = 0
-        for index in range(self.gets_per_core):
+        index = 0
+        while count is None or index < count:
             key = self.sampler.sample()
             stats["gets"] += 1
             owner = self.owner_node(key)
-            if owner == local_node:
+            if owner != local_node:
+                stats["remote"] += 1
+                buffer_offset = index * self.value_bytes
+                if count is None:
+                    # Endless streams must stay inside this core's 1 MiB
+                    # buffer window; bounded (closed-loop) runs keep the
+                    # historical unwrapped addressing byte-for-byte.
+                    buffer_offset %= (1 << 20)
+                yield WorkQueueEntry(
+                    op=RemoteOp.READ,
+                    ctx_id=KV_CTX_ID,
+                    dst_node=owner,
+                    remote_offset=self.key_offset(key),
+                    local_buffer=LOCAL_BUFFER_BASE + core_id * (1 << 20) + buffer_offset,
+                    length=self.value_bytes,
+                )
+            else:
                 stats["local"] += 1
-                continue
-            stats["remote"] += 1
-            yield WorkQueueEntry(
-                op=RemoteOp.READ,
-                ctx_id=KV_CTX_ID,
-                dst_node=owner,
-                remote_offset=self.key_offset(key),
-                local_buffer=LOCAL_BUFFER_BASE + core_id * (1 << 20) + index * self.value_bytes,
-                length=self.value_bytes,
+            index += 1
+
+    def request_stream(self, core_id: int) -> Iterator[WorkQueueEntry]:
+        """Endless remote GETs for open-loop driving (same mix as inject)."""
+        if self.rack_nodes <= 1:
+            # Every key is node-local: the endless generator could never
+            # yield and the first arrival would spin forever.
+            raise WorkloadError(
+                "kvstore open-loop driving needs rack_nodes > 1 (with %d node(s) "
+                "no GET is remote)" % self.rack_nodes
             )
+        return self._entries_for_core(core_id, self._stats, None)
 
     # ------------------------------------------------------------------
     # Workload lifecycle
@@ -198,7 +221,8 @@ class KeyValueStoreWorkload(Workload):
 
     def inject(self) -> None:
         for core in self._cores:
-            core.start(self._entries_for_core(core.core_id, self._stats), max_outstanding=8)
+            core.start(self._entries_for_core(core.core_id, self._stats, self.gets_per_core),
+                       max_outstanding=8)
 
     def result(self) -> KVStoreResult:
         """The finished run as the legacy typed result record."""

@@ -203,6 +203,10 @@ class UniformRandomReadWorkload(Workload):
                 max_outstanding=self.max_outstanding,
             )
 
+    def request_stream(self, core_id: int) -> Iterator[WorkQueueEntry]:
+        """Endless uniform-random reads for open-loop driving."""
+        return _read_entries(None, self.transfer_bytes, core_id)
+
     def metrics(self) -> dict:
         stats = self.core_traffic_metrics(self._cores)
         stats.update({

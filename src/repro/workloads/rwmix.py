@@ -76,11 +76,14 @@ class ReadWriteMixWorkload(Workload):
         self._cores: List[CoreModel] = []
         self._issued = {"read": 0, "write": 0}
 
-    def _entries_for_core(self, core_id: int) -> Iterator[WorkQueueEntry]:
+    def _entries_for_core(self, core_id: int,
+                          count: Optional[int]) -> Iterator[WorkQueueEntry]:
+        """Mixed read/write entries for one core (``count=None`` = endless)."""
         rng = random.Random(self.seed * 7919 + core_id)
         local_base = LOCAL_BUFFER_BASE + core_id * (1 << 21)
         offset = (core_id * 524287 * self.transfer_bytes) % REGION_BYTES
-        for index in range(self.ops_per_core):
+        index = 0
+        while count is None or index < count:
             if offset + self.transfer_bytes > REGION_BYTES:
                 offset = 0
             op = RemoteOp.WRITE if rng.random() < self.write_fraction else RemoteOp.READ
@@ -94,6 +97,7 @@ class ReadWriteMixWorkload(Workload):
                 length=self.transfer_bytes,
             )
             offset += self.transfer_bytes
+            index += 1
 
     # ------------------------------------------------------------------
     # Workload lifecycle
@@ -116,7 +120,12 @@ class ReadWriteMixWorkload(Workload):
 
     def inject(self) -> None:
         for core in self._cores:
-            core.start(self._entries_for_core(core.core_id), max_outstanding=self.max_outstanding)
+            core.start(self._entries_for_core(core.core_id, self.ops_per_core),
+                       max_outstanding=self.max_outstanding)
+
+    def request_stream(self, core_id: int) -> Iterator[WorkQueueEntry]:
+        """Endless read/write mix for open-loop driving."""
+        return self._entries_for_core(core_id, None)
 
     def metrics(self) -> dict:
         stats = self.core_traffic_metrics(self._cores)

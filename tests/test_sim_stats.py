@@ -1,8 +1,16 @@
 """Tests for the statistics helpers."""
 
+import random
+
 import pytest
 
-from repro.sim.stats import LatencyRecorder, StatAccumulator, ThroughputMeter, WindowedMonitor
+from repro.sim.stats import (
+    LatencyHistogram,
+    LatencyRecorder,
+    StatAccumulator,
+    ThroughputMeter,
+    WindowedMonitor,
+)
 
 
 class TestStatAccumulator:
@@ -199,3 +207,94 @@ class TestConvergenceFlags:
         monitor.record_window(5.0)
         assert monitor.converged_naturally
         assert monitor.warning() is None
+
+
+class TestLatencyHistogram:
+    def test_small_values_are_exact(self):
+        hist = LatencyHistogram()
+        for value in (3.0, 7.0, 7.0, 500.0):
+            hist.record(value)
+        assert hist.count == 4
+        assert hist.percentile(0) == 3.0
+        assert hist.percentile(100) == 500.0
+        assert hist.percentile(50) == 7.0
+
+    def test_percentiles_match_sorted_reference_within_resolution(self):
+        rng = random.Random(42)
+        values = [rng.expovariate(1.0 / 5000.0) for _ in range(50_000)]
+        hist = LatencyHistogram()
+        for value in values:
+            hist.record(value)
+        ordered = sorted(values)
+        for p in (50.0, 95.0, 99.0, 99.9):
+            reference = ordered[min(len(ordered) - 1, int(p / 100.0 * len(ordered)))]
+            assert hist.percentile(p) == pytest.approx(reference, rel=5e-3)
+
+    def test_covers_whole_stream_unlike_reservoir(self):
+        # One outlier in a long stream: the full-stream histogram must see it
+        # at p100 and keep p99.9 independent of reservoir sampling noise.
+        hist = LatencyHistogram()
+        for _ in range(100_000):
+            hist.record(100.0)
+        hist.record(1_000_000.0)
+        assert hist.maximum == 1_000_000.0
+        assert hist.percentile(100) == 1_000_000.0
+        assert hist.percentile(50) == 100.0
+
+    def test_merge_equals_single_histogram(self):
+        rng = random.Random(7)
+        values = [rng.uniform(10, 100_000) for _ in range(5_000)]
+        combined = LatencyHistogram()
+        left, right = LatencyHistogram(), LatencyHistogram()
+        for i, value in enumerate(values):
+            combined.record(value)
+            (left if i % 2 else right).record(value)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.minimum == combined.minimum
+        assert left.maximum == combined.maximum
+        for p in (50.0, 99.0, 99.9):
+            assert left.percentile(p) == combined.percentile(p)
+
+    def test_merge_rejects_mismatched_resolution(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(sub_bucket_bits=10).merge(LatencyHistogram(sub_bucket_bits=8))
+
+    def test_empty_histogram_is_safe(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(99) == 0.0
+        assert hist.mean == 0.0
+        assert hist.as_dict()["count"] == 0
+
+
+class TestLatencyRecorderExactMode:
+    def test_exact_mode_uses_full_stream_histogram(self):
+        exact = LatencyRecorder("exact-mode-test", max_samples=100, exact=True)
+        for value in range(1, 10_001):
+            exact.add(float(value))
+        # The histogram replaces the reservoir entirely; p99 covers all 10k
+        # values even though no samples are retained.
+        assert exact.samples == []
+        assert exact.count == 10_000
+        assert exact.percentile(99) == pytest.approx(9900.0, rel=5e-3)
+
+    def test_summary_labels_percentile_fidelity(self):
+        approx = LatencyRecorder("approx-summary")
+        exact = LatencyRecorder("exact-summary", exact=True)
+        for rec in (approx, exact):
+            for value in (10.0, 20.0, 30.0):
+                rec.add(value)
+        assert approx.summary()["percentile_mode"] == "approximate"
+        assert exact.summary()["percentile_mode"] == "exact"
+        for key in ("count", "mean", "p50", "p95", "p99", "p99.9"):
+            assert key in approx.summary()
+            assert key in exact.summary()
+
+    def test_default_recorder_is_unchanged(self):
+        rec = LatencyRecorder("default-unchanged")
+        assert not rec.exact
+        assert rec.histogram is None
+        for value in range(1, 101):
+            rec.add(float(value))
+        # The seed-stable reservoir interpolation of the approximate path.
+        assert rec.percentile(50) == pytest.approx(50.5)

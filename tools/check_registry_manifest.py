@@ -48,6 +48,7 @@ def catalog_inventory(inventory_path: str = None) -> dict:
         "designs": [item["name"] for item in catalog["registries"]["designs"]],
         "topologies": [item["name"] for item in catalog["registries"]["topologies"]],
         "workloads": [item["name"] for item in catalog["registries"]["workloads"]],
+        "arrivals": [item["name"] for item in catalog["registries"].get("arrivals", [])],
         "experiments": [item["name"] for item in catalog["experiments"]],
     }
 
@@ -82,9 +83,10 @@ def main(argv: list) -> int:
               file=sys.stderr)
         return 1
     print("registry inventory matches %s (%d designs, %d topologies, %d workloads, "
-          "%d experiments)" % (
+          "%d arrival processes, %d experiments)" % (
               manifest_path, len(actual["designs"]), len(actual["topologies"]),
-              len(actual["workloads"]), len(actual["experiments"])))
+              len(actual["workloads"]), len(actual["arrivals"]),
+              len(actual["experiments"])))
     return 0
 
 
