@@ -23,7 +23,9 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import get_spec
 
 #: Schema tag of the machine-readable perf baseline the benchmarks write.
-BASELINE_SCHEMA = "repro-perf-baseline/1"
+#: /2 added the low-load ``packet_injection_fused`` benchmark and fused-hop /
+#: fast-event counters (``fused_hops``, ``fast_events``) to the entries.
+BASELINE_SCHEMA = "repro-perf-baseline/2"
 
 #: Warm-up and measurement windows (cycles) for bandwidth benchmarks.
 BENCH_WARMUP_CYCLES = 3_000

@@ -91,10 +91,64 @@ def test_bench_packet_injection():
         "packets_per_s": session.packets_per_s,
         "events_per_s": session.events_per_s,
         "peak_pending_events": session.peak_pending_events,
+        "fused_hops": session.fused_hops,
+        "fast_events": session.fast_events,
         "route_cache_entries": len(fabric._bound_routes),
     })
     print("\npacket injection: %.0f packets/s, %.0f events/s (%d packets in %.3f s)"
           % (session.packets_per_s, session.events_per_s, session.packets, session.wall_s))
+
+
+def test_bench_packet_injection_fused():
+    """Low-load injection: one packet in flight, the regime hop fusion owns.
+
+    The same all-to-all src/dst/size/class mix as ``packet_injection``, but
+    self-paced — each delivery callback injects the next packet (a
+    ``tail=True`` send, satisfying the tail-send contract), so the NOC is
+    otherwise idle and every k-hop route collapses into a single delivery
+    event.  This is the regime of the paper's latency figures (fig6, table1).
+    """
+    config = SystemConfig.paper_defaults()
+    classes = list(MessageClass)
+    topology = MeshTopology(8, config.noc)
+    plan = [
+        (topology.tile_coord(i % 64), topology.tile_coord((i * 7 + 13) % 64),
+         64 * (1 + i % 4), classes[i % len(classes)])
+        for i in range(INJECTED_PACKETS)
+    ]
+    requests = iter(plan)
+    with perf.session() as session:
+        sim = Simulator()
+        # Fusion pinned on explicitly: this benchmark *measures* the fused
+        # path, so a REPRO_HOP_FUSION=0 A/B environment must not break its
+        # one-event-per-packet assertions.
+        fabric = NocFabric(sim, topology, config.noc, hop_fusion=True)
+        send = fabric.send
+
+        def inject(_packet=None):
+            request = next(requests, None)
+            if request is not None:
+                send(request[0], request[1], request[2], request[3], inject, tail=True)
+
+        inject()
+        sim.run()
+    assert fabric.packets_delivered == INJECTED_PACKETS
+    assert session.packets_per_s > 0
+    assert session.fused_hops > 0
+    # Fully fused low-load injection needs exactly one event per packet.
+    assert session.events == INJECTED_PACKETS
+    _record("packet_injection_fused", {
+        "packets": session.packets,
+        "events": session.events,
+        "wall_s": session.wall_s,
+        "packets_per_s": session.packets_per_s,
+        "events_per_s": session.events_per_s,
+        "peak_pending_events": session.peak_pending_events,
+        "fused_hops": session.fused_hops,
+        "fast_events": session.fast_events,
+    })
+    print("\nfused packet injection: %.0f packets/s, %.0f events/s, %d hops fused"
+          % (session.packets_per_s, session.events_per_s, session.fused_hops))
 
 
 def test_bench_scenario_hotspot():
@@ -123,6 +177,8 @@ def test_bench_scenario_hotspot():
         "events": session.events,
         "wall_s": session.wall_s,
         "events_per_s": session.events_per_s,
+        "fused_hops": session.fused_hops,
+        "fast_events": session.fast_events,
         "scenario_fingerprint": result.scenario_fingerprint,
     })
     print("\nscenario hotspot: %.0f events/s (%d ops in %.3f s)"

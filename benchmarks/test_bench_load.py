@@ -41,6 +41,8 @@ def test_bench_load_sweep():
         "wall_s": session.wall_s,
         "events_per_s": session.events_per_s,
         "peak_pending_events": session.peak_pending_events,
+        "fused_hops": session.fused_hops,
+        "fast_events": session.fast_events,
     })
     print("\nload sweep: %.0f events/s (%d requests in %.3f s)"
           % (session.events_per_s, injected, session.wall_s))

@@ -164,6 +164,12 @@ class RoutingAlgorithm(enum.Enum):
 class MessageClass(enum.Enum):
     """NOC packet classes used by routing policies and statistics."""
 
+    #: Members are singletons, so identity hashing is correct — and C-level,
+    #: unlike Enum.__hash__, which shows up in packet-injection profiles
+    #: (every send hashes its class into per-class byte counters and the
+    #: route-cache key).
+    __hash__ = object.__hash__
+
     MEMORY_REQUEST = "memory_request"
     MEMORY_RESPONSE = "memory_response"
     COHERENCE_REQUEST = "coherence_request"

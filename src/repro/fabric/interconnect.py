@@ -22,6 +22,9 @@ class InterconnectModel:
         self.rack = rack
         self.frequency_ghz = frequency_ghz
         self.torus = Torus3D(rack.torus_dims)
+        # Precomputed once: node_to_node_latency_cycles sits on the
+        # remote-request hot path, and round() per call is measurable there.
+        self._hop_latency_cycles = int(round(rack.network_hop_ns * frequency_ghz))
 
     @classmethod
     def from_config(cls, config: SystemConfig) -> "InterconnectModel":
@@ -33,13 +36,13 @@ class InterconnectModel:
 
     @property
     def hop_latency_cycles(self) -> int:
-        return int(round(self.rack.network_hop_ns * self.frequency_ghz))
+        return self._hop_latency_cycles
 
     def one_way_latency_cycles(self, hops: int) -> int:
         """One-way network latency for a path of ``hops`` chip-to-chip hops."""
         if hops < 0:
             raise ConfigurationError("hop count cannot be negative")
-        return hops * self.hop_latency_cycles
+        return hops * self._hop_latency_cycles
 
     def round_trip_latency_cycles(self, hops: int) -> int:
         """Round-trip network latency (excludes remote-node servicing)."""

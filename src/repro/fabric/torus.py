@@ -9,7 +9,7 @@ respectively for 512 nodes).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.config import RackConfig
 from repro.errors import TopologyError
@@ -31,15 +31,19 @@ class Torus3D:
         if len(dims) != 3 or any(d <= 0 for d in dims):
             raise TopologyError("torus dimensions must be three positive integers")
         self.dims = tuple(dims)
-        # Route/distance caches: node-id -> coordinate (precomputed; node
-        # fan-out is at most a few thousand) and (src, dst) -> hop count
-        # (filled on demand by :meth:`hop_count`).
+        # Distance structures: node-id -> coordinate (precomputed; node
+        # fan-out is at most a few thousand) and one ring-distance table per
+        # dimension indexed by |a - b|, so :meth:`hop_count` is O(1) with no
+        # per-pair memo dict (512 nodes would otherwise grow a 262k-entry
+        # cache under all-to-all traffic).
         dx, dy, _ = self.dims
         self._coords: List[Coord3] = [
             (node % dx, (node // dx) % dy, node // (dx * dy))
             for node in range(self.node_count)
         ]
-        self._hop_cache: Dict[Tuple[int, int], int] = {}
+        self._ring_tables: Tuple[List[int], ...] = tuple(
+            [min(delta, size - delta) for delta in range(size)] for size in self.dims
+        )
 
     @classmethod
     def from_config(cls, rack: RackConfig) -> "Torus3D":
@@ -79,15 +83,12 @@ class Torus3D:
         return min(direct, size - direct)
 
     def hop_count(self, src: int, dst: int) -> int:
-        """Minimal hop count between two nodes (wrap-around links used, memoized)."""
-        key = (src, dst)
-        cached = self._hop_cache.get(key)
-        if cached is not None:
-            return cached
+        """Minimal hop count between two nodes (wrap-around links used, O(1))."""
         sc, dc = self.coord(src), self.coord(dst)
-        hops = sum(self._ring_distance(s, d, n) for s, d, n in zip(sc, dc, self.dims))
-        self._hop_cache[key] = hops
-        return hops
+        tables = self._ring_tables
+        return (tables[0][abs(sc[0] - dc[0])]
+                + tables[1][abs(sc[1] - dc[1])]
+                + tables[2][abs(sc[2] - dc[2])])
 
     def neighbors(self, node_id: int) -> List[int]:
         """The (up to) six torus neighbours of a node."""

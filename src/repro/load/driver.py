@@ -64,7 +64,11 @@ class _TenantState:
         self.gaps: Iterator[float] = process.gaps()
         self.streams: Dict[int, Iterator] = {}
         self.next_core = 0
-        self.next_event = None
+        #: Set when the measurement window closes: in-flight arrival events
+        #: become no-ops and the clock stops rescheduling itself.  (A flag
+        #: instead of Simulator.cancel keeps arrivals on the allocation-free
+        #: fast-path, which returns no cancellable handle.)
+        self.frozen = False
         self.exhausted = False  # a non-looping trace ran out of arrivals
         self.reset_counters()
 
@@ -280,9 +284,8 @@ class OpenLoopDriver:
         gap = next(state.gaps, None)
         if gap is None:  # a non-looping trace ran out
             state.exhausted = True
-            state.next_event = None
             return
-        state.next_event = self.machine.sim.schedule(gap, self._arrive, state)
+        self.machine.sim.schedule_fast(gap, self._arrive, state)
 
     def _completion_counter(self, state: _TenantState):
         """A per-tenant completion listener attributing ops to the window."""
@@ -293,6 +296,8 @@ class OpenLoopDriver:
         return on_complete
 
     def _arrive(self, state: _TenantState) -> None:
+        if state.frozen:
+            return
         core = state.cores[state.next_core % len(state.cores)]
         state.next_core += 1
         state.arrived += 1
@@ -347,9 +352,7 @@ class OpenLoopDriver:
         machine.run(until=self.warmup_cycles + self.measure_cycles)
         # Freeze the arrival clocks and stop the cores issuing.
         for state in self._states:
-            if state.next_event is not None:
-                machine.sim.cancel(state.next_event)
-                state.next_event = None
+            state.frozen = True
         for core in cores:
             core.stop()
         return self._collect(cores)

@@ -8,10 +8,42 @@ link, and the tail arrives ``flits - 1`` cycles after the head at the final
 hop, so the zero-load latency is ``hops * hop_cycles + (flits - 1)`` and
 contended links introduce queuing exactly where the paper observes it (the MC
 and NI edge columns, the mesh bisection, the per-tile unroll paths).
+
+Lookahead hop fusion
+--------------------
+
+Advancing the head one event per hop is exact but costs one kernel event per
+link crossed.  The fused walk exploits the discrete-event lookahead: while a
+packet's arrival at its next router falls *strictly before* the simulator's
+queue head (:meth:`~repro.sim.engine.Simulator.next_event_time`), no other
+event can execute in between, so nothing can acquire, observe or reroute
+ahead of the packet — the walk may acquire the next link immediately with
+``Resource.acquire(occupancy, earliest=arrival)`` and keep going.  At low
+load (exactly where the paper's latency figures live) this collapses a whole
+k-hop route into a single delivery event; under contention the condition
+fails and the walk degrades to the per-hop event chain, event for event.
+
+Two details keep fused runs byte-identical to unfused ones:
+
+* The walk only fuses from *inside an event callback* (the scheduled
+  ``_hop`` continuation).  ``send`` itself still acquires the first link
+  synchronously and schedules the continuation: code running later in the
+  same callback (e.g. an unroll loop injecting sibling packets at the same
+  cycle) may acquire the very channels a fused walk would have pre-acquired
+  at later virtual times, which would reorder FIFO grants.
+* Ties fall back: when the next arrival lands exactly on the queue-head
+  time, the head event was scheduled first and must execute first, so the
+  walk schedules a normal hop event and preserves ``seq`` ordering.
+
+``REPRO_HOP_FUSION=0`` (or ``hop_fusion=False``) force-disables fusion; the
+equivalence suite runs every figure both ways and compares bytes.
 """
 
 from __future__ import annotations
 
+import os
+
+from heapq import heappush
 from typing import Any, Callable, Dict, Hashable, Optional, Sequence, Tuple
 
 from repro.config import MessageClass, NocConfig
@@ -24,6 +56,18 @@ from repro.sim.resource import Channel
 DeliveryCallback = Callable[[Packet], None]
 
 
+def hop_fusion_default() -> bool:
+    """Process-wide hop-fusion default: on unless ``REPRO_HOP_FUSION`` opts out.
+
+    Read at fabric construction time so equivalence tests (and campaign
+    workers, which inherit the environment) can force-disable fusion for a
+    whole run without threading a flag through every builder.
+    """
+    return os.environ.get("REPRO_HOP_FUSION", "1").strip().lower() not in (
+        "0", "off", "false", "no",
+    )
+
+
 class NocFabric:
     """Routes packets over a :class:`Topology` with per-link contention."""
 
@@ -31,18 +75,26 @@ class NocFabric:
     #: a router (e.g. a core talking to its own tile's LLC slice).
     LOCAL_DELIVERY_CYCLES = 1
 
-    def __init__(self, sim: Simulator, topology: Topology, noc_config: NocConfig) -> None:
+    def __init__(self, sim: Simulator, topology: Topology, noc_config: NocConfig,
+                 hop_fusion: Optional[bool] = None) -> None:
         self.sim = sim
         self.topology = topology
         self.config = noc_config
+        self.hop_fusion = hop_fusion_default() if hop_fusion is None else bool(hop_fusion)
         self.link_bytes = noc_config.link_bytes
         self._channels: Dict[Tuple[Hashable, Hashable], Channel] = {}
         # Channel-bound route cache: route_cache_key -> tuple of
         # (channel, hop_cycles, crosses_bisection) hops, so the per-hop fast
         # path does no topology or channel-dict lookups.
         self._bound_routes: Dict[Hashable, Tuple[Tuple[Channel, int, bool], ...]] = {}
+        # payload_bytes -> (flits, wire_bytes); the handful of distinct
+        # payload sizes an experiment sends makes this a near-perfect cache.
+        self._flit_sizes: Dict[int, Tuple[int, int]] = {}
         # Statistics
         self.packets_sent = 0
+        #: Hop events elided by lookahead fusion since the last stats reset
+        #: (lifetime counts live in the perf record, see lifetime_fused_hops).
+        self.fused_hops = 0
         self.packets_delivered = 0
         self.payload_bytes_delivered = 0
         self.wire_bytes_sent = 0
@@ -57,6 +109,11 @@ class NocFabric:
         (performance instrumentation needs a whole-run injection count)."""
         return self._perf.packets
 
+    @property
+    def lifetime_fused_hops(self) -> int:
+        """Hop events elided by lookahead fusion over the fabric's lifetime."""
+        return self._perf.fused_hops
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -68,30 +125,91 @@ class NocFabric:
         msg_class: MessageClass,
         callback: Optional[DeliveryCallback] = None,
         payload: Any = None,
+        tail: bool = False,
     ) -> Packet:
-        """Inject a packet; ``callback(packet)`` fires at delivery time."""
+        """Inject a packet; ``callback(packet)`` fires at delivery time.
+
+        ``tail=True`` declares that this send is the caller's *final
+        simulation-affecting action at the current timestep* — it will not
+        acquire resources, inject packets or schedule events after the call
+        returns.  Under that contract the fused walk may start right here
+        instead of behind a one-hop continuation event, collapsing an
+        uncontended k-hop route into a single delivery event.  Passing
+        ``tail=True`` from a callback that does more work afterwards can
+        reorder FIFO channel grants and breaks run-to-run equivalence —
+        leave it False when in doubt (the default is always safe).  One more
+        caveat: a tail send issued *between* ``run()`` calls fuses without a
+        horizon bound, so link statistics sampled at the next ``run(until)``
+        horizon may already include the whole route's occupancy.
+        """
+        sim = self.sim
+        now = sim._now
         packet = Packet(
             src=src,
             dst=dst,
             payload_bytes=payload_bytes,
             msg_class=msg_class,
             payload=payload,
-            created_at=self.sim.now,
+            created_at=now,
         )
         self.packets_sent += 1
         self._perf.packets += 1
-        flits = packet.flits(self.link_bytes)
-        wire = flits * self.link_bytes
+        size = self._flit_sizes.get(payload_bytes)
+        if size is None:
+            flits = packet.flits(self.link_bytes)
+            size = self._flit_sizes[payload_bytes] = (flits, flits * self.link_bytes)
+        flits, wire = size
         self.wire_bytes_sent += wire
         self.bytes_by_class[msg_class] += wire
-        if src == dst:
-            self.sim.schedule(self.LOCAL_DELIVERY_CYCLES, self._deliver, packet, callback)
-            return packet
-        hops = self._bound_route(src, dst, msg_class, packet.packet_id)
-        if not hops:
-            self.sim.schedule(self.LOCAL_DELIVERY_CYCLES, self._deliver, packet, callback)
-            return packet
-        self._hop(packet, hops, 0, flits, wire, callback)
+        if src != dst:
+            hops = self._bound_route(src, dst, msg_class, packet.packet_id)
+            if tail and hops and self.hop_fusion:
+                # Tail-send contract: nothing runs after us at this
+                # timestep, so the whole walk (hop 0 included — acquiring at
+                # earliest=now is the synchronous acquire) can fuse in place.
+                self._hop(packet, hops, 0, flits, wire, callback)
+                return packet
+            if hops:
+                # The first link is acquired synchronously, in injection
+                # order — several sends in one callback must claim their
+                # first channels FIFO exactly as before fusion existed.  The
+                # rest of the walk runs as a scheduled event, where the fused
+                # fast path is safe (see module docstring).
+                channel, hop_cycles, crosses_bisection = hops[0]
+                # Inlined Channel.acquire(flits) — see the matching block in
+                # _hop.
+                start = channel._free_at
+                if now > start:
+                    start = now
+                channel._free_at = start + flits
+                channel.busy_cycles += flits
+                channel.grants += 1
+                open_grants = channel._open_grants
+                while open_grants and open_grants[0][1] <= now:
+                    open_grants.popleft()
+                open_grants.append((start, start + flits))
+                channel.bytes_transferred += wire
+                if crosses_bisection:
+                    self.bisection_bytes += wire
+                arrival = start + hop_cycles
+                # Inlined Simulator.schedule_fast.  The event time is
+                # computed as now + delta, never as the absolute arrival:
+                # float addition does not guarantee now + (t - now) == t, and
+                # byte-identity with the per-hop chain (which always
+                # scheduled relative delays) must hold to the last bit.
+                if len(hops) == 1:
+                    entry = (now + (arrival + flits - 1 - now), next(sim._seq),
+                             self._deliver, (packet, callback))
+                else:
+                    entry = (now + (arrival - now), next(sim._seq), self._hop,
+                             (packet, hops, 1, flits, wire, callback))
+                queue = sim._queue
+                heappush(queue, entry)
+                sim._perf.fast_events += 1
+                if len(queue) > sim._peak_pending:
+                    sim._peak_pending = len(queue)
+                return packet
+        sim.schedule_fast(self.LOCAL_DELIVERY_CYCLES, self._deliver, packet, callback)
         return packet
 
     def zero_load_latency(self, src: Hashable, dst: Hashable, payload_bytes: int,
@@ -146,6 +264,7 @@ class NocFabric:
     def reset_stats(self) -> None:
         """Zero all counters (used at the end of the warm-up phase)."""
         self.packets_sent = 0
+        self.fused_hops = 0
         self.packets_delivered = 0
         self.payload_bytes_delivered = 0
         self.wire_bytes_sent = 0
@@ -191,21 +310,80 @@ class NocFabric:
 
     def _hop(self, packet: Packet, hops: Sequence[Tuple[Channel, int, bool]], index: int,
              flits: int, wire: int, callback: Optional[DeliveryCallback]) -> None:
-        channel, hop_cycles, crosses_bisection = hops[index]
-        grant = channel.acquire(flits)
-        channel.bytes_transferred += wire
-        if crosses_bisection:
-            self.bisection_bytes += wire
-        arrival = grant + hop_cycles
-        index += 1
+        """Walk the remaining hops, fusing as far as the lookahead allows.
+
+        Runs as an event callback (the continuation ``send`` schedules) at
+        the exact cycle the packet's head reaches router ``index`` — or
+        synchronously from a ``tail=True`` send, whose contract provides the
+        same guarantee that nothing else acts at the current timestep.  Each
+        iteration acquires one link at the packet's virtual arrival time;
+        while the next arrival stays strictly before the queue head, nothing
+        can interleave and the walk continues in place instead of scheduling
+        a hop event.  An empty queue means nothing can interleave at all.
+        With :attr:`hop_fusion` off, the first lookahead check fails by
+        construction and every hop schedules its own event, exactly as
+        before.
+        """
         sim = self.sim
-        if index == len(hops):
-            # Final hop: the tail arrives flits-1 cycles after the head, and
-            # the completion event delivers directly (no pass through _hop).
-            sim.schedule(arrival + flits - 1 - sim._now, self._deliver, packet, callback)
+        nhops = len(hops)
+        # The lookahead bound: fuse while the next arrival < head.  The walk
+        # itself only pushes events at/after the current arrival, so the
+        # bound stays valid without re-peeking.  The active run(until=...)
+        # horizon caps the bound too: the run may stop there and the caller
+        # may sample link statistics that the per-hop chain would not yet
+        # have accumulated — hops at/after the horizon must stay events.
+        if self.hop_fusion:
+            head = sim.next_event_time()
+            horizon = sim._run_horizon
+            if head is None or head > horizon:
+                head = horizon
         else:
-            sim.schedule(arrival - sim._now, self._hop, packet, hops, index, flits, wire,
-                         callback)
+            head = float("-inf")
+        now = sim._now
+        arrival = now
+        fused = 0
+        while True:
+            channel, hop_cycles, crosses_bisection = hops[index]
+            # Inlined Channel.acquire(flits, earliest=arrival) — one call per
+            # hop is the hottest path in the whole simulator; keep in sync
+            # with repro.sim.resource.Resource.acquire.
+            start = channel._free_at
+            if arrival > start:
+                start = arrival
+            channel._free_at = start + flits
+            channel.busy_cycles += flits
+            channel.grants += 1
+            open_grants = channel._open_grants
+            while open_grants and open_grants[0][1] <= now:
+                open_grants.popleft()
+            open_grants.append((start, start + flits))
+            channel.bytes_transferred += wire
+            if crosses_bisection:
+                self.bisection_bytes += wire
+            arrival = start + hop_cycles
+            index += 1
+            if index == nhops:
+                # Final hop: the tail arrives flits-1 cycles after the head,
+                # and the completion event delivers directly.  Event times
+                # stay now + delta, matching the unfused chain bit for bit
+                # (see the note in send()).
+                entry = (now + (arrival + flits - 1 - now), next(sim._seq),
+                         self._deliver, (packet, callback))
+                break
+            if arrival < head:
+                fused += 1
+                continue
+            entry = (now + (arrival - now), next(sim._seq), self._hop,
+                     (packet, hops, index, flits, wire, callback))
+            break
+        if fused:
+            self.fused_hops += fused
+            self._perf.fused_hops += fused
+        queue = sim._queue
+        heappush(queue, entry)
+        sim._perf.fast_events += 1
+        if len(queue) > sim._peak_pending:
+            sim._peak_pending = len(queue)
 
     def _deliver(self, packet: Packet, callback: Optional[DeliveryCallback]) -> None:
         packet.delivered_at = self.sim.now

@@ -15,7 +15,7 @@ _packet_ids = itertools.count()
 HEADER_BYTES = 16
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One message travelling over the on-chip network.
 

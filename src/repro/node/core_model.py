@@ -88,7 +88,7 @@ class CoreModel:
         self._max_outstanding = max_outstanding or self.qp.wq.capacity
         self._on_op_complete = on_op_complete
         self._stopped = False
-        self.sim.schedule(0, self._try_work)
+        self.sim.schedule_fast(0, self._try_work)
 
     def open_loop(
         self,
@@ -182,7 +182,7 @@ class CoreModel:
             # Closed loop: the entry is created the instant the core issues
             # it.  Open-loop entries were already stamped at arrival (feed()).
             entry.posted_at = self.sim.now
-        self.sim.schedule(self.calibration.wq_write_instruction_cycles, self._store_wq_entry, entry)
+        self.sim.schedule_fast(self.calibration.wq_write_instruction_cycles, self._store_wq_entry, entry)
 
     def _store_wq_entry(self, entry: WorkQueueEntry) -> None:
         index = self.qp.wq.post(entry)
@@ -214,7 +214,7 @@ class CoreModel:
         )
 
     def _cq_loaded(self) -> None:
-        self.sim.schedule(self.calibration.cq_read_instruction_cycles, self._consume_cq_entry)
+        self.sim.schedule_fast(self.calibration.cq_read_instruction_cycles, self._consume_cq_entry)
 
     def _consume_cq_entry(self) -> None:
         cq_entry = self.qp.cq.pop()

@@ -13,6 +13,14 @@ Two styles of modelling are supported:
 * **process style** — generator-based coroutines wrapped in
   :class:`Process`, which ``yield`` delays; used by workload drivers where
   sequential code is clearer.
+
+Callback-style sites that never cancel their events should prefer
+:meth:`Simulator.schedule_fast`: it pushes a bare ``(time, seq, callback,
+args)`` tuple instead of constructing an :class:`Event`, which removes the
+dominant per-event allocation on packet-heavy runs.  The trade-off is that
+the fast path returns no handle, so the event cannot be cancelled — keep
+using :meth:`Simulator.schedule` wherever a caller might need
+:meth:`Simulator.cancel`.
 """
 
 from __future__ import annotations
@@ -72,6 +80,12 @@ class Simulator:
     ``(time, seq)`` prefix entirely in C, which keeps heap maintenance off
     the Python-level ``Event.__lt__`` path (the single hottest call site in
     packet-heavy runs).
+
+    Entries scheduled through :meth:`schedule_fast` are stored as
+    ``(time, seq, callback, args)`` 4-tuples with no :class:`Event` at all.
+    The two shapes share one heap: ``seq`` is unique, so comparisons never
+    reach the differing third element, and the dispatch loop tells them
+    apart by length (only 3-tuples can be cancelled).
     """
 
     __slots__ = (
@@ -82,17 +96,26 @@ class Simulator:
         "_stop_requested",
         "_cancelled_events",
         "_peak_pending",
+        "_run_horizon",
         "_perf",
     )
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._queue: List[Tuple[float, int, Event]] = []
+        #: Mixed heap of ``(time, seq, event)`` and fast ``(time, seq,
+        #: callback, args)`` entries; see the class docstring.
+        self._queue: List[Tuple[Any, ...]] = []
         self._seq = itertools.count()
         self._events_executed = 0
         self._stop_requested = False
         self._cancelled_events: set = set()
         self._peak_pending = 0
+        #: The ``until`` horizon of the :meth:`run` currently executing
+        #: (+inf otherwise).  Lookahead optimisations must not commit work at
+        #: virtual times past it: the run may stop there and the caller may
+        #: sample statistics that the unfused event chain would not yet have
+        #: accumulated.
+        self._run_horizon = float("inf")
         self._perf = perf.register_simulator(self)
 
     # ------------------------------------------------------------------
@@ -133,6 +156,23 @@ class Simulator:
         if len(queue) > self._peak_pending:
             self._peak_pending = len(queue)
         return event
+
+    def schedule_fast(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``callback(*args)`` without allocating an :class:`Event`.
+
+        The allocation-free path for call sites that never cancel: fabric
+        hops and deliveries, resource completions, process steps, arrival
+        clocks.  Ordering is identical to :meth:`schedule` (same time/seq
+        discipline, same counter), but no handle is returned, so the event
+        cannot be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError("cannot schedule an event %.3f cycles in the past" % delay)
+        queue = self._queue
+        heapq.heappush(queue, (self._now + delay, next(self._seq), callback, args))
+        self._perf.fast_events += 1
+        if len(queue) > self._peak_pending:
+            self._peak_pending = len(queue)
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at an absolute simulation time."""
@@ -179,9 +219,30 @@ class Simulator:
         event remains in the heap, including any stale entries for events
         cancelled after they had already fired.
         """
-        self._queue[:] = [entry for entry in self._queue if not entry[2].cancelled]
+        self._queue[:] = [
+            entry for entry in self._queue
+            if len(entry) == 4 or not entry[2].cancelled
+        ]
         heapq.heapify(self._queue)
         self._cancelled_events.clear()
+
+    def next_event_time(self) -> Optional[float]:
+        """Time of the earliest live pending event, or None when idle.
+
+        O(1) amortized: cancelled entries at the head are popped on the way
+        (work :meth:`run` would otherwise do).  This is the lookahead bound
+        the NOC's hop fusion peeks at — while a packet's next hop arrives
+        strictly before this time, no other event can interleave.
+        """
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if len(entry) == 3 and entry[2].cancelled:
+                heapq.heappop(queue)
+                self._cancelled_events.discard(entry[2])
+                continue
+            return entry[0]
+        return None
 
     # ------------------------------------------------------------------
     # Execution
@@ -189,16 +250,21 @@ class Simulator:
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if the queue is empty."""
         while self._queue:
-            time, _seq, event = heapq.heappop(self._queue)
-            if event.cancelled:
-                self._cancelled_events.discard(event)
-                continue
-            self._now = time
+            entry = heapq.heappop(self._queue)
+            if len(entry) == 4:
+                callback, args = entry[2], entry[3]
+            else:
+                event = entry[2]
+                if event.cancelled:
+                    self._cancelled_events.discard(event)
+                    continue
+                callback, args = event.callback, event.args
+            self._now = entry[0]
             self._events_executed += 1
             self._perf.events += 1
             if self._peak_pending > self._perf.peak_pending:
                 self._perf.peak_pending = self._peak_pending
-            event.callback(*event.args)
+            callback(*args)
             return True
         return False
 
@@ -213,23 +279,34 @@ class Simulator:
         pop = heapq.heappop
         horizon = float("inf") if until is None else until
         limit = float("inf") if max_events is None else max_events
+        self._run_horizon = horizon
         try:
             while queue and not self._stop_requested:
-                head_time, _seq, event = queue[0]
-                if event.cancelled:
-                    pop(queue)
-                    self._cancelled_events.discard(event)
-                    continue
+                entry = queue[0]
+                if len(entry) == 4:
+                    callback, args = entry[2], entry[3]
+                else:
+                    event = entry[2]
+                    if event.cancelled:
+                        pop(queue)
+                        self._cancelled_events.discard(event)
+                        continue
+                    callback, args = event.callback, event.args
+                head_time = entry[0]
                 if head_time > horizon:
-                    self._now = until
+                    # Clamp: a horizon already in the past must not move the
+                    # clock backwards.
+                    if until > self._now:
+                        self._now = until
                     break
                 if executed >= limit:
                     break
                 pop(queue)
                 self._now = head_time
                 executed += 1
-                event.callback(*event.args)
+                callback(*args)
         finally:
+            self._run_horizon = float("inf")
             # The executed-event count is kept in a local inside the loop;
             # fold it into the lifetime counters even on an exception.
             self._events_executed += executed
@@ -282,7 +359,7 @@ class Process:
 
     def start(self) -> None:
         """Schedule the first step of the process at the current time."""
-        self._sim.schedule(0, self._advance_bound, None)
+        self._sim.schedule_fast(0, self._advance_bound, None)
 
     def on_complete(self, callback: Callable[["Process"], None]) -> None:
         """Register a callback invoked when the process finishes."""
@@ -308,17 +385,29 @@ class Process:
             delay = 0
         if delay < 0:
             raise SimulationError("a process yielded a negative delay: %r" % delay)
-        self._sim.schedule(delay, self._advance_bound, None)
+        self._sim.schedule_fast(delay, self._advance_bound, None)
 
 
 def drain(sim: Simulator, processes: Iterable[Process], until: Optional[float] = None) -> None:
-    """Run the simulator until every process in ``processes`` has finished."""
-    processes = list(processes)
-    while not all(p.finished for p in processes):
+    """Run the simulator until every process in ``processes`` has finished.
+
+    Completion is tracked with an ``on_complete`` counter rather than
+    rescanning every process per event (which made draining quadratic in
+    the process count for large workload sets).
+    """
+    remaining = [0]
+
+    def finished(_process: Process) -> None:
+        remaining[0] -= 1
+
+    for process in processes:
+        if not process.finished:
+            remaining[0] += 1
+            process.on_complete(finished)
+    while remaining[0]:
         if not sim.step():
-            unfinished = sum(1 for p in processes if not p.finished)
             raise SimulationError(
-                "simulation went idle with %d unfinished process(es)" % unfinished
+                "simulation went idle with %d unfinished process(es)" % remaining[0]
             )
         if until is not None and sim.now > until:
             raise SimulationError("processes did not finish before t=%.1f" % until)

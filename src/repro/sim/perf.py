@@ -46,19 +46,25 @@ class PerfCounters:
     to the record only, so the component itself stays collectable.
     """
 
-    __slots__ = ("events", "packets", "peak_pending")
+    __slots__ = ("events", "packets", "peak_pending", "fused_hops", "fast_events")
 
     def __init__(self) -> None:
         self.events = 0
         self.packets = 0
         self.peak_pending = 0
+        #: NOC hops collapsed into their predecessor by lookahead hop fusion
+        #: (each one is a hop event that never had to be scheduled).
+        self.fused_hops = 0
+        #: Events scheduled through the allocation-free fast path.
+        self.fast_events = 0
 
 
 class PerfSession:
     """Counters for one measured region of simulation work."""
 
     __slots__ = ("_counters", "_started_at", "wall_s",
-                 "events", "packets", "peak_pending_events", "_closed")
+                 "events", "packets", "peak_pending_events",
+                 "fused_hops", "fast_events", "_closed")
 
     def __init__(self) -> None:
         self._counters: List[PerfCounters] = []
@@ -68,6 +74,8 @@ class PerfSession:
         self.events = 0
         self.packets = 0
         self.peak_pending_events = 0
+        self.fused_hops = 0
+        self.fast_events = 0
 
     # ------------------------------------------------------------------
     # Collection
@@ -83,6 +91,8 @@ class PerfSession:
         self.wall_s = time.perf_counter() - self._started_at
         self.events = sum(counters.events for counters in self._counters)
         self.packets = sum(counters.packets for counters in self._counters)
+        self.fused_hops = sum(counters.fused_hops for counters in self._counters)
+        self.fast_events = sum(counters.fast_events for counters in self._counters)
         self.peak_pending_events = max(
             (counters.peak_pending for counters in self._counters), default=0
         )
@@ -108,6 +118,8 @@ class PerfSession:
             "events_per_s": self.events_per_s,
             "packets_per_s": self.packets_per_s,
             "peak_pending_events": float(self.peak_pending_events),
+            "fused_hops": float(self.fused_hops),
+            "fast_events": float(self.fast_events),
         }
 
 

@@ -3,16 +3,16 @@
 import pytest
 
 from repro.config import MessageClass, NocConfig
-from repro.noc.fabric import NocFabric
+from repro.noc.fabric import NocFabric, hop_fusion_default
 from repro.noc.mesh import MeshTopology
 from repro.noc.packet import HEADER_BYTES, Packet
 from repro.sim.engine import Simulator
 
 
-def make_fabric(side: int = 8):
+def make_fabric(side: int = 8, hop_fusion=None):
     sim = Simulator()
     topology = MeshTopology(side, NocConfig())
-    return sim, NocFabric(sim, topology, NocConfig())
+    return sim, NocFabric(sim, topology, NocConfig(), hop_fusion=hop_fusion)
 
 
 class TestPacket:
@@ -118,3 +118,157 @@ class TestContention:
         fabric.send((0, 0), (1, 0), 64, MessageClass.NI_DATA)
         sim.run()
         assert fabric.aggregate_wire_gbps(frequency_ghz=2.0) > 0.0
+
+
+def _drive(fabric, sim, sends, tail=False):
+    """Inject ``sends`` (src, dst, nbytes, cls) tuples; return delivery times."""
+    times = []
+    for src, dst, nbytes, cls in sends:
+        fabric.send(src, dst, nbytes, cls, lambda p: times.append((p.packet_id, sim.now)),
+                    tail=tail)
+    sim.run()
+    return times
+
+
+MIX = [
+    ((0, 0), (5, 3), 64, MessageClass.NI_DATA),
+    ((1, 1), (6, 6), 256, MessageClass.NI_DATA),
+    ((7, 0), (0, 7), 8, MessageClass.COHERENCE_REQUEST),
+    ((3, 3), (3, 4), 64, MessageClass.MEMORY_RESPONSE),
+    ((2, 5), (5, 2), 128, MessageClass.NI_COMMAND),
+]
+
+
+class TestHopFusion:
+    def test_fusion_enabled_by_default(self):
+        _sim, fabric = make_fabric()
+        assert fabric.hop_fusion is True
+
+    def test_env_var_force_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HOP_FUSION", "0")
+        assert hop_fusion_default() is False
+        _sim, fabric = make_fabric()
+        assert fabric.hop_fusion is False
+        monkeypatch.setenv("REPRO_HOP_FUSION", "1")
+        assert hop_fusion_default() is True
+
+    def test_constructor_flag_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HOP_FUSION", "0")
+        _sim, fabric = make_fabric(hop_fusion=True)
+        assert fabric.hop_fusion is True
+
+    def test_fused_walk_matches_zero_load_estimate(self):
+        sim, fabric = make_fabric()
+        delivered = {}
+        fabric.send((0, 0), (5, 3), 64, MessageClass.NI_DATA,
+                    lambda p: delivered.update(t=sim.now))
+        sim.run()
+        assert delivered["t"] == fabric.zero_load_latency((0, 0), (5, 3), 64)
+        # 8-hop route: hop 0 is acquired in send, the continuation fuses the
+        # other 7 hops into the delivery event.
+        assert fabric.fused_hops == 6
+        assert fabric.lifetime_fused_hops == 6
+
+    def test_fused_and_unfused_deliveries_are_identical(self):
+        sim_a, fused = make_fabric(hop_fusion=True)
+        sim_b, unfused = make_fabric(hop_fusion=False)
+        times_fused = _drive(fused, sim_a, MIX)
+        times_unfused = _drive(unfused, sim_b, MIX)
+        assert times_fused and len(times_fused) == len(MIX)
+        assert [t for _, t in times_fused] == [t for _, t in times_unfused]
+        assert fused.fused_hops > 0
+        assert unfused.fused_hops == 0
+        assert fused.link_utilization() == unfused.link_utilization()
+        assert fused.bisection_bytes == unfused.bisection_bytes
+
+    def test_tail_send_matches_regular_send(self):
+        sim_a, tail = make_fabric(hop_fusion=True)
+        sim_b, regular = make_fabric(hop_fusion=True)
+        # One packet at a time, fully drained: the tail contract holds.
+        times_tail = []
+        times_regular = []
+        for src, dst, nbytes, cls in MIX:
+            tail.send(src, dst, nbytes, cls,
+                      lambda p: times_tail.append(sim_a.now), tail=True)
+            sim_a.run()
+            regular.send(src, dst, nbytes, cls,
+                         lambda p: times_regular.append(sim_b.now))
+            sim_b.run()
+        assert times_tail == times_regular
+        # The tail walk needs no continuation event: one event per packet.
+        assert sim_a.events_executed < sim_b.events_executed
+        assert tail.link_utilization() == regular.link_utilization()
+
+    def test_contended_link_falls_back_and_stays_exact(self):
+        # Three same-route packets: the second and third queue behind the
+        # first on every link, and the dense event queue suppresses fusion
+        # without changing any delivery time (see TestContention for the
+        # expected spacing).
+        sim_a, fused = make_fabric(hop_fusion=True)
+        sim_b, unfused = make_fabric(hop_fusion=False)
+        sends = [((0, 0), (3, 0), 64, MessageClass.NI_DATA)] * 3
+        times_fused = [t for _, t in _drive(fused, sim_a, sends)]
+        times_unfused = [t for _, t in _drive(unfused, sim_b, sends)]
+        assert times_fused == times_unfused
+        assert times_fused[1] - times_fused[0] == pytest.approx(5.0)
+
+    def test_tie_with_a_pending_event_suppresses_fusion(self):
+        sim, fabric = make_fabric()
+        # A wall of dummy events, one per cycle: every next-hop arrival lands
+        # at or after the queue head, so the walk must never fuse.
+        for t in range(1, 40):
+            sim.schedule(t, lambda: None)
+        delivered = {}
+        fabric.send((0, 0), (5, 3), 64, MessageClass.NI_DATA,
+                    lambda p: delivered.update(t=sim.now))
+        sim.run()
+        assert delivered["t"] == fabric.zero_load_latency((0, 0), (5, 3), 64)
+        assert fabric.fused_hops == 0
+
+    def test_stats_at_a_run_horizon_match_unfused(self):
+        # A fused walk must not commit link occupancy for hops the per-hop
+        # chain would not have executed by a run(until=...) horizon: callers
+        # sample utilization exactly at those boundaries.
+        sim_a, fused = make_fabric(hop_fusion=True)
+        sim_b, unfused = make_fabric(hop_fusion=False)
+        for sim, fabric in ((sim_a, fused), (sim_b, unfused)):
+            fabric.send((0, 0), (7, 7), 256, MessageClass.NI_DATA)
+            sim.run(until=3)
+        busy_a = sum(c.busy_cycles for c in fused._channels.values())
+        busy_b = sum(c.busy_cycles for c in unfused._channels.values())
+        assert busy_a == busy_b
+        assert fused.bisection_bytes == unfused.bisection_bytes
+        assert fused.link_utilization() == unfused.link_utilization()
+        # Both finish the packet identically after the horizon lifts.
+        sim_a.run()
+        sim_b.run()
+        assert fused.packets_delivered == unfused.packets_delivered == 1
+        assert fused.link_utilization() == unfused.link_utilization()
+
+    def test_reset_stats_mid_flight_matches_unfused(self):
+        # Warm-up boundary with a packet in flight: the carried-over
+        # in-flight busy cycles must be identical fused vs unfused.
+        sim_a, fused = make_fabric(hop_fusion=True)
+        sim_b, unfused = make_fabric(hop_fusion=False)
+        results = {}
+        for key, (sim, fabric) in (("fused", (sim_a, fused)),
+                                   ("unfused", (sim_b, unfused))):
+            fabric.send((0, 0), (7, 7), 256, MessageClass.NI_DATA)
+            sim.run(until=5)
+            fabric.reset_stats()
+            sim.run()
+            results[key] = (
+                fabric.bisection_bytes,
+                sum(c.busy_cycles for c in fabric._channels.values()),
+            )
+        assert results["fused"] == results["unfused"]
+
+    def test_reset_stats_zeroes_window_counter_only(self):
+        sim, fabric = make_fabric()
+        fabric.send((0, 0), (5, 3), 64, MessageClass.NI_DATA)
+        sim.run()
+        assert fabric.fused_hops > 0
+        lifetime = fabric.lifetime_fused_hops
+        fabric.reset_stats()
+        assert fabric.fused_hops == 0
+        assert fabric.lifetime_fused_hops == lifetime

@@ -86,6 +86,27 @@ class TestRunBounds:
         sim.run(max_events=2)
         assert fired == [0, 1]
 
+    def test_run_until_in_the_past_does_not_rewind_the_clock(self):
+        # Regression: run(until=X) with X < now used to set now = X, moving
+        # simulation time backwards.
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        assert sim.now == 10
+        sim.schedule(20, lambda: None)
+        sim.run(until=5)
+        assert sim.now == 10
+
+    def test_run_until_in_the_past_executes_nothing(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        fired = []
+        sim.schedule(1, fired.append, "later")
+        sim.run(until=3)
+        assert fired == []
+        assert sim.now == 10
+
     def test_stop_from_within_event(self):
         sim = Simulator()
         fired = []
@@ -105,6 +126,90 @@ class TestRunBounds:
             sim.schedule(1, lambda: None)
         sim.run()
         assert sim.events_executed == 4
+
+
+class TestFastPath:
+    def test_fast_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_fast(10, order.append, "b")
+        sim.schedule_fast(5, order.append, "a")
+        sim.schedule_fast(20, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 20
+        assert sim.events_executed == 3
+
+    def test_fast_and_slow_events_interleave_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5, order.append, 1)
+        sim.schedule_fast(5, order.append, 2)
+        sim.schedule(5, order.append, 3)
+        sim.schedule_fast(5, order.append, 4)
+        sim.run()
+        assert order == [1, 2, 3, 4]
+
+    def test_fast_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_fast(-1, lambda: None)
+
+    def test_fast_events_counted_in_peak_pending(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule_fast(i + 1, lambda: None)
+        assert sim.peak_pending_events == 7
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_fast_events_survive_compaction(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_fast(600, fired.append, "fast")
+        doomed = [sim.schedule(100 + i, fired.append, "dead") for i in range(300)]
+        for event in doomed:
+            sim.cancel(event)
+        sim.run()
+        assert fired == ["fast"]
+
+    def test_step_executes_fast_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_fast(3, fired.append, "x")
+        assert sim.step() is True
+        assert fired == ["x"]
+        assert sim.now == 3
+
+    def test_run_until_respects_fast_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_fast(5, fired.append, "early")
+        sim.schedule_fast(50, fired.append, "late")
+        sim.run(until=10)
+        assert fired == ["early"]
+        assert sim.now == 10
+
+
+class TestNextEventTime:
+    def test_empty_queue_returns_none(self):
+        assert Simulator().next_event_time() is None
+
+    def test_returns_head_time_without_popping(self):
+        sim = Simulator()
+        sim.schedule(7, lambda: None)
+        sim.schedule_fast(3, lambda: None)
+        assert sim.next_event_time() == 3
+        assert sim.pending_events == 2
+
+    def test_skips_cancelled_head_events(self):
+        sim = Simulator()
+        dead = sim.schedule(1, lambda: None)
+        sim.schedule(9, lambda: None)
+        sim.cancel(dead)
+        assert sim.next_event_time() == 9
+        # The cancelled head was purged on the way.
+        assert sim.pending_events == 1
 
 
 class TestProcess:
@@ -160,6 +265,60 @@ class TestProcess:
         drain(sim, procs)
         assert all(p.finished for p in procs)
         assert sim.now == 7
+
+    def test_drain_accepts_already_finished_processes(self):
+        sim = Simulator()
+
+        def worker():
+            yield 1
+            return "ok"
+
+        done = sim.process(worker())
+        sim.run()
+        assert done.finished
+        drain(sim, [done])  # must not raise or run anything
+        assert sim.now == 1
+
+    def test_drain_stops_as_soon_as_the_last_process_finishes(self):
+        # The completion counter must not keep stepping unrelated events
+        # once every tracked process is done.
+        sim = Simulator()
+
+        def worker():
+            yield 2
+
+        proc = sim.process(worker())
+        unrelated = []
+        sim.schedule(100, unrelated.append, "straggler")
+        drain(sim, [proc])
+        assert proc.finished
+        assert unrelated == []
+
+    def test_drain_raises_when_the_simulation_goes_idle(self):
+        sim = Simulator()
+
+        def forever():
+            yield 1
+            while True:
+                received = yield  # never resumed: no one sends to us
+                del received
+
+        # A generator pending on an event that never comes: emulate by a
+        # process whose chain we cut off with stop(), then drain directly.
+        proc = Process(sim, forever())
+        # Never started: it can never finish, and the queue is empty.
+        with pytest.raises(SimulationError, match="1 unfinished"):
+            drain(sim, [proc])
+
+    def test_drain_until_bound_raises(self):
+        sim = Simulator()
+
+        def slow():
+            yield 100
+
+        proc = sim.process(slow())
+        with pytest.raises(SimulationError, match="did not finish"):
+            drain(sim, [proc], until=10)
 
 
 class TestCancellationAndCompaction:

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Soft perf gate: compare a freshly measured baseline to the committed one.
+
+CI runs the engine microbenchmarks (``benchmarks/test_bench_engine.py`` and
+``benchmarks/test_bench_load.py``), which write a machine-readable baseline
+JSON, then calls this script to compare the fresh numbers against the
+baseline committed in ``benchmarks/perf_baseline.json``.  The job fails when
+a *gated* benchmark's ``events_per_s`` regresses by more than the allowed
+fraction (default 30% — generous enough to absorb runner jitter, tight
+enough to catch a hot path accidentally falling off the fast path).
+
+Benchmarks present in only one of the two documents are reported but never
+fail the gate (new benchmarks land before their baseline does), and a
+committed baseline with an older schema downgrades the run to report-only —
+after a schema bump the first regenerated baseline has nothing comparable
+to gate against.
+
+Usage::
+
+    python tools/check_perf_baseline.py --fresh perf_baseline.json \
+        [--committed benchmarks/perf_baseline.json] [--max-regression 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: Benchmarks whose events_per_s regression fails the gate.
+GATED_BENCHMARKS = ("event_kernel", "packet_injection")
+
+DEFAULT_COMMITTED = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir,
+    "benchmarks", "perf_baseline.json",
+)
+
+
+def load_document(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "benchmarks" not in document:
+        raise SystemExit("%s: not a perf-baseline document" % path)
+    return document
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True,
+                        help="baseline JSON written by this run's benchmarks")
+    parser.add_argument("--committed", default=DEFAULT_COMMITTED,
+                        help="checked-in reference baseline (default: %(default)s)")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional events_per_s drop (default 0.30)")
+    args = parser.parse_args(argv)
+
+    fresh = load_document(args.fresh)
+    committed = load_document(args.committed)
+    gating = fresh.get("schema") == committed.get("schema")
+    if not gating:
+        print("schema mismatch (%s fresh vs %s committed): reporting only, not gating"
+              % (fresh.get("schema"), committed.get("schema")))
+
+    failures = []
+    for name in sorted(set(fresh["benchmarks"]) | set(committed["benchmarks"])):
+        new = fresh["benchmarks"].get(name)
+        old = committed["benchmarks"].get(name)
+        if new is None or old is None:
+            print("%-24s only in %s baseline — not gated"
+                  % (name, "committed" if new is None else "fresh"))
+            continue
+        new_rate = float(new.get("events_per_s", 0.0))
+        old_rate = float(old.get("events_per_s", 0.0))
+        if old_rate <= 0:
+            print("%-24s committed rate is zero — not gated" % name)
+            continue
+        change = new_rate / old_rate - 1.0
+        gated = gating and name in GATED_BENCHMARKS
+        verdict = "ok"
+        if change < -args.max_regression:
+            verdict = "REGRESSION" if gated else "regression (not gated)"
+            if gated:
+                failures.append(name)
+        print("%-24s %12.0f -> %12.0f events/s (%+6.1f%%) %s"
+              % (name, old_rate, new_rate, change * 100.0, verdict))
+
+    if failures:
+        print("\nperf gate FAILED: %s regressed more than %.0f%% vs the committed "
+              "baseline" % (", ".join(failures), args.max_regression * 100.0))
+        print("If the slowdown is intentional, regenerate benchmarks/perf_baseline.json "
+              "(see README, 'Performance methodology') and commit it with the change.")
+        return 1
+    print("\nperf gate passed (threshold: %.0f%% on %s)"
+          % (args.max_regression * 100.0, ", ".join(GATED_BENCHMARKS)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
