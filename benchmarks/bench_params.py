@@ -25,7 +25,9 @@ from repro.experiments.registry import get_spec
 #: Schema tag of the machine-readable perf baseline the benchmarks write.
 #: /2 added the low-load ``packet_injection_fused`` benchmark and fused-hop /
 #: fast-event counters (``fused_hops``, ``fast_events``) to the entries.
-BASELINE_SCHEMA = "repro-perf-baseline/2"
+#: /3 added the faulted-load ``chaos_sweep`` benchmark and its fault
+#: counters (``fault_windows``, ``fault_hits``).
+BASELINE_SCHEMA = "repro-perf-baseline/3"
 
 #: Warm-up and measurement windows (cycles) for bandwidth benchmarks.
 BENCH_WARMUP_CYCLES = 3_000

@@ -46,3 +46,43 @@ def test_bench_load_sweep():
     })
     print("\nload sweep: %.0f events/s (%d requests in %.3f s)"
           % (session.events_per_s, injected, session.wall_s))
+
+
+def test_bench_chaos_sweep():
+    """Scaled-down faulted sweep: the load path plus fault-hook overhead.
+
+    One offered load, one fault intensity, plus the in-experiment fault-free
+    baseline twin — the baseline entry tracks what fault-state checks and
+    windowed tail recording cost on top of the plain load path.
+    """
+    with perf.session() as session:
+        result = run_spec(
+            "chaos_sweep",
+            loads=(8.0,),
+            intensities=(0.5,),
+            warmup_cycles=1_000.0,
+            measure_cycles=4_000.0,
+            mtbf_cycles=1_200.0,
+            mttr_cycles=600.0,
+        )
+    assert result.metadata.events["requests_completed"] > 0
+    assert result.metadata.events["fault_windows"] > 0
+    assert session.events_per_s > 0
+    injected = result.metadata.events["requests_injected"]
+    record_baseline("chaos_sweep", {
+        "load_points": result.metadata.events["load_points"],
+        "fault_intensities": result.metadata.events["fault_intensities"],
+        "requests_injected": injected,
+        "requests_completed": result.metadata.events["requests_completed"],
+        "fault_windows": result.metadata.events["fault_windows"],
+        "fault_drops": result.metadata.events["fault_drops"],
+        "events": session.events,
+        "wall_s": session.wall_s,
+        "events_per_s": session.events_per_s,
+        "peak_pending_events": session.peak_pending_events,
+        "fused_hops": session.fused_hops,
+        "fast_events": session.fast_events,
+        "fault_hits": session.fault_hits,
+    })
+    print("\nchaos sweep: %.0f events/s (%d requests in %.3f s)"
+          % (session.events_per_s, injected, session.wall_s))

@@ -102,6 +102,15 @@ class CampaignReport:
         ))
 
     @property
+    def fault_windows(self) -> int:
+        """Fault windows activated across non-cached successful runs."""
+        return int(sum(
+            entry.result.metadata.perf.get("fault_windows", 0.0)
+            for entry in self.entries
+            if entry.ok and not entry.cached
+        ))
+
+    @property
     def simulation_wall_s(self) -> float:
         """Wall seconds the simulators of non-cached successful runs consumed."""
         return sum(
@@ -141,6 +150,25 @@ class CampaignReport:
                 )
         return collected
 
+    @property
+    def resilience_points(self) -> List[str]:
+        """Resilience findings (``chaos_sweep`` digests) across the campaign.
+
+        Each ``chaos_sweep`` result notes, per fault intensity, the degraded
+        saturation throughput, worst tail amplification and mean recovery
+        transient; a campaign sweeping designs or fault models ends with the
+        side-by-side resilience comparison.
+        """
+        collected: List[str] = []
+        for entry in self.entries:
+            if entry.ok:
+                collected.extend(
+                    "%s: %s" % (entry.request.label(), note)
+                    for note in entry.result.notes
+                    if note.startswith("resilience")
+                )
+        return collected
+
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
@@ -158,6 +186,9 @@ class CampaignReport:
             # Only worth repeating as a cross-run digest when the campaign
             # compared several load sweeps (single results carry the note).
             parts.append("\n".join(saturation))
+        resilience = self.resilience_points
+        if len(resilience) > 1:
+            parts.append("\n".join(resilience))
         parts.append(self.summary())
         return "\n\n".join(parts)
 
@@ -176,6 +207,9 @@ class CampaignReport:
             fused = self.fused_hops
             if fused:
                 line += ", %d hop(s) fused" % fused
+            faults = self.fault_windows
+            if faults:
+                line += ", %d fault window(s)" % faults
         return line
 
     # ------------------------------------------------------------------

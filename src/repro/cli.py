@@ -51,8 +51,8 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser(
-        "list", help="list available experiments, designs, topologies, workloads "
-                     "and arrival processes")
+        "list", help="list available experiments, designs, topologies, workloads, "
+                     "arrival processes and fault models")
     list_parser.add_argument("--json", nargs="?", const="-", metavar="PATH", default=None,
                              help="emit the experiment + component catalog as JSON "
                                   "(to PATH, or stdout)")
@@ -64,6 +64,8 @@ def build_parser() -> argparse.ArgumentParser:
                              help="list only the registered workloads")
     list_parser.add_argument("--arrivals", action="store_true",
                              help="list only the registered arrival processes")
+    list_parser.add_argument("--faults", action="store_true",
+                             help="list only the registered fault models")
 
     run_parser = subparsers.add_parser("run", help="run experiments once each")
     run_parser.add_argument("experiments", nargs="*",
@@ -138,7 +140,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 # ----------------------------------------------------------------------
 def _registry_catalog() -> Dict[str, List[Dict[str, object]]]:
     """The component registries as a JSON-native inventory."""
-    from repro.scenario.registry import ARRIVALS, NI_DESIGNS, TOPOLOGIES, WORKLOADS
+    from repro.scenario.registry import (
+        ARRIVALS,
+        FAULT_MODELS,
+        NI_DESIGNS,
+        TOPOLOGIES,
+        WORKLOADS,
+    )
 
     designs = [
         {
@@ -158,7 +166,8 @@ def _registry_catalog() -> Dict[str, List[Dict[str, object]]]:
         for entry in TOPOLOGIES.entries()
     ]
     def parameterized(registry) -> List[Dict[str, object]]:
-        # Workloads and arrival processes share the param_defaults protocol.
+        # Workloads, arrival processes and fault models share the
+        # param_defaults protocol.
         return [
             {
                 "name": entry.name,
@@ -172,7 +181,8 @@ def _registry_catalog() -> Dict[str, List[Dict[str, object]]]:
         ]
 
     return {"designs": designs, "topologies": topologies,
-            "workloads": parameterized(WORKLOADS), "arrivals": parameterized(ARRIVALS)}
+            "workloads": parameterized(WORKLOADS), "arrivals": parameterized(ARRIVALS),
+            "faults": parameterized(FAULT_MODELS)}
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -211,6 +221,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         ("Topologies", "topologies", args.topologies),
         ("Workloads", "workloads", args.workloads),
         ("Arrival processes", "arrivals", args.arrivals),
+        ("Fault models", "faults", args.faults),
     ]
     only_registries = any(flag for _, _, flag in selected)
     if not only_registries:

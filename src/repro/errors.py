@@ -62,3 +62,7 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness failed to produce its table or figure data."""
+
+
+class FaultError(ReproError):
+    """A fault model or fault schedule was configured with unusable parameters."""

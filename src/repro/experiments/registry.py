@@ -15,6 +15,7 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.spec import ExperimentSpec, get_spec, iter_specs, list_specs
 
 # Importing the experiment modules populates the spec registry.
+from repro.experiments import chaos_sweep as _chaos_sweep  # noqa: F401
 from repro.experiments import fig5 as _fig5  # noqa: F401
 from repro.experiments import fig6 as _fig6  # noqa: F401
 from repro.experiments import fig7 as _fig7  # noqa: F401

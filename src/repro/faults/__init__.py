@@ -1,0 +1,38 @@
+"""Seeded fault injection and resilience analysis.
+
+The fifth scenario axis: fault models are registered components
+(:data:`repro.scenario.registry.FAULT_MODELS`), activated on a seeded,
+fingerprinted window schedule by a :class:`FaultInjector`, with a metrics
+layer quantifying tail amplification, degraded throughput and recovery
+transients.  See the README's "Injecting faults" section for usage.
+"""
+
+from repro.faults.injector import (
+    DEFAULT_INTENSITY,
+    FaultInjector,
+    FaultState,
+    SCHEDULE_PARAM_KEYS,
+    build_fault_injector,
+    derive_seed,
+)
+from repro.faults.metrics import (
+    WindowedTails,
+    recovery_transient_cycles,
+    tail_amplification,
+)
+from repro.faults.models import FaultModel
+from repro.faults.schedule import FaultSchedule
+
+__all__ = [
+    "DEFAULT_INTENSITY",
+    "FaultInjector",
+    "FaultModel",
+    "FaultSchedule",
+    "FaultState",
+    "SCHEDULE_PARAM_KEYS",
+    "WindowedTails",
+    "build_fault_injector",
+    "derive_seed",
+    "recovery_transient_cycles",
+    "tail_amplification",
+]

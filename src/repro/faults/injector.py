@@ -1,0 +1,215 @@
+"""Fault-state toggling on the simulation clock.
+
+The :class:`FaultInjector` owns the glue between a
+:class:`~repro.faults.models.FaultModel`, its
+:class:`~repro.faults.schedule.FaultSchedule` and a built machine: it binds
+the model's targets, attaches a shared :class:`FaultState` to the hot paths
+(``machine.fabric.faults`` for the NOC, ``machine.fault_state`` for the core
+issue path) and schedules one *cancellable* activation/deactivation event
+per window through :meth:`~repro.sim.engine.Simulator.schedule_at`.
+
+Keeping the toggles as ordinary queue-resident events is what makes fault
+injection safe under the NOC's lookahead hop fusion with no extra mechanism:
+``next_event_time()`` can never exceed the next pending toggle, so a fused
+walk's strict ``arrival < head`` bound stops it at the fault boundary and
+the walk falls back to per-hop events exactly like the queue-head tie case.
+Toggle events are scheduled at install time (before any deferred hop can be
+scheduled at the same timestamp), so at a shared boundary cycle the toggle's
+lower sequence number makes it fire first — a hop held until recovery always
+observes the recovered state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import FaultError
+from repro.faults.models import FaultModel
+from repro.faults.schedule import FaultSchedule
+from repro.scenario.registry import FAULT_MODELS
+from repro.sim import perf
+from repro.sim.engine import Event
+
+#: Default fraction of targets affected when ``fault_params`` omits it.
+DEFAULT_INTENSITY = 0.25
+
+#: ``fault_params`` keys consumed by the schedule rather than the model.
+SCHEDULE_PARAM_KEYS = frozenset(FaultSchedule.param_defaults)
+
+
+class FaultState:
+    """The shared mutable record every fault-aware hot path consults.
+
+    ``active`` flips on the injector's toggle events; the per-hook methods
+    gate on it first so an installed-but-idle fault (or an empty schedule)
+    costs one attribute check and leaves behaviour bit-identical to a run
+    with no fault model at all.  ``hits`` counts hook invocations that
+    actually perturbed something — the fault analogue of ``fused_hops``.
+    """
+
+    __slots__ = ("model", "active", "window_until", "windows", "hits", "_perf")
+
+    def __init__(self, model: FaultModel) -> None:
+        self.model = model
+        self.active = False
+        #: Recovery time of the window currently active (meaningless while
+        #: inactive); lets models like ``link_down`` defer work to recovery.
+        self.window_until = 0.0
+        self.windows = 0
+        self.hits = 0
+        self._perf = perf.register_faults(self)
+
+    # ------------------------------------------------------------------
+    # Hot-path hooks (thin active-gated wrappers over the model's)
+    # ------------------------------------------------------------------
+    def hop_delay(self, link_key, arrival: float, hop_cycles: int) -> float:
+        if not self.active:
+            return 0.0
+        extra = self.model.hop_delay(self, link_key, arrival, hop_cycles)
+        if extra > 0.0:
+            self.hits += 1
+            self._perf.fault_hits += 1
+        return extra
+
+    def loss_delay(self, packet_id: int) -> float:
+        if not self.active:
+            return 0.0
+        extra = self.model.loss_delay(self, packet_id)
+        if extra > 0.0:
+            self.hits += 1
+            self._perf.fault_hits += 1
+        return extra
+
+    def issue_penalty(self, core_id: int) -> float:
+        if not self.active:
+            return 0.0
+        extra = self.model.issue_penalty(self, core_id)
+        if extra > 0.0:
+            self.hits += 1
+            self._perf.fault_hits += 1
+        return extra
+
+    def core_rejects(self, core_id: int) -> bool:
+        if not self.active:
+            return False
+        if self.model.core_rejects(self, core_id):
+            self.hits += 1
+            self._perf.fault_hits += 1
+            return True
+        return False
+
+
+class FaultInjector:
+    """Installs a fault model on a machine and toggles it per schedule."""
+
+    def __init__(self, machine, model: FaultModel, schedule: FaultSchedule,
+                 core_ids: Sequence[int] = ()) -> None:
+        self.machine = machine
+        self.model = model
+        self.schedule = schedule
+        self.core_ids = list(core_ids)
+        self.state = FaultState(model)
+        #: The realized windows (set by :meth:`install`).
+        self.windows: List[Tuple[float, float]] = []
+        self._events: List[Event] = []
+        self._installed = False
+
+    def fingerprint(self) -> str:
+        """Content hash identifying the injected fault exactly.
+
+        Combines the model identity (name, intensity, seed) with the
+        schedule's window fingerprint — two injectors share a fingerprint
+        iff they would perturb a run identically.
+        """
+        payload = "%s:%.9g:%d:%s" % (
+            self.model.name, self.model.intensity, self.model.seed,
+            self.schedule.schedule_fingerprint(),
+        )
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def install(self, horizon: Optional[float] = None) -> None:
+        """Bind targets, attach the state, schedule every window's toggles.
+
+        ``horizon`` bounds drawn schedules to windows activating before it
+        (normally the run's warm-up + measurement length).  Windows whose
+        activation already passed are clamped to *now*; fully-elapsed
+        windows are skipped.
+        """
+        if self._installed:
+            raise FaultError("fault injector is already installed")
+        self._installed = True
+        machine = self.machine
+        sim = machine.sim
+        self.model.bind(machine, self.core_ids)
+        fabric = getattr(machine, "fabric", None)
+        if fabric is not None:
+            fabric.faults = self.state
+        machine.fault_state = self.state
+        self.windows = self.schedule.windows(horizon)
+        now = sim.now
+        for on, off in self.windows:
+            if off <= now:
+                continue
+            self._events.append(sim.schedule_at(max(on, now), self._activate, off))
+            self._events.append(sim.schedule_at(max(off, now), self._deactivate))
+
+    def _activate(self, until: float) -> None:
+        self.state.active = True
+        self.state.window_until = until
+        self.state.windows += 1
+        self.state._perf.fault_windows += 1
+
+    def _deactivate(self) -> None:
+        self.state.active = False
+
+    def cancel(self) -> None:
+        """Cancel every pending toggle and detach the state from the machine."""
+        sim = self.machine.sim
+        for event in self._events:
+            sim.cancel(event)
+        self._events = []
+        self.state.active = False
+        fabric = getattr(self.machine, "fabric", None)
+        if fabric is not None and getattr(fabric, "faults", None) is self.state:
+            fabric.faults = None
+        if getattr(self.machine, "fault_state", None) is self.state:
+            self.machine.fault_state = None
+
+
+def derive_seed(seed: int, kind: str, name: str) -> int:
+    """A decorrelated per-purpose seed (same recipe as per-tenant seeds)."""
+    return seed * 1_000_003 + zlib.crc32(("%s:%s" % (kind, name)).encode("utf-8"))
+
+
+def build_fault_injector(machine, faults: str, fault_params: Mapping[str, object],
+                         seed: int = 1, core_ids: Sequence[int] = ()) -> FaultInjector:
+    """Assemble an injector from a registry name and a flat parameter dict.
+
+    ``fault_params`` mixes three namespaces the way scenario specs carry
+    them: the universal ``intensity``, the schedule knobs
+    (:attr:`FaultSchedule.param_defaults`) and the model's own parameters.
+    Model and schedule seeds are derived from ``seed`` so one driver seed
+    pins the whole faulted run.
+    """
+    name = FAULT_MODELS.resolve(faults)
+    model_cls = FAULT_MODELS.get(name)
+    params = dict(fault_params)
+    intensity = params.pop("intensity", DEFAULT_INTENSITY)
+    try:
+        intensity = float(intensity)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise FaultError("fault intensity must be a number, got %r" % (intensity,)) from None
+    schedule_params = {key: params.pop(key) for key in list(params)
+                       if key in SCHEDULE_PARAM_KEYS}
+    schedule = FaultSchedule.from_params(
+        seed=derive_seed(seed, "schedule", name), **schedule_params
+    )
+    model = model_cls.from_params(
+        intensity, seed=derive_seed(seed, "model", name), **params
+    )
+    return FaultInjector(machine, model, schedule, core_ids=core_ids)

@@ -1,0 +1,253 @@
+"""Built-in fault models (the ``FAULT_MODELS`` registry's populate module).
+
+A fault model describes *what* degrades while a fault window is active; the
+:class:`~repro.faults.schedule.FaultSchedule` decides *when* and the
+:class:`~repro.faults.injector.FaultInjector` toggles the shared
+:class:`~repro.faults.injector.FaultState` the hot paths consult.  Every
+model is seeded: target selection (which routers, which cores) and per-packet
+decisions are deterministic functions of ``(seed, intensity)``, so faulted
+runs reproduce exactly across reruns and parallel campaign workers.
+
+``intensity`` is the model's single universal knob in ``[0, 1]``: the
+fraction of routers/cores affected, or the per-packet loss probability.  An
+intensity of 0 selects no targets at all — useful as the in-band "fault-free"
+point of a chaos sweep.
+
+Fault semantics deliberately *defer* packets rather than destroy them: a
+dropped in-flight packet would strand coherence and NI protocol callbacks
+mid-transaction.  ``link_down`` blocks affected links until the window
+recovers, ``packet_loss`` charges a retransmit penalty at delivery, and real
+load shedding (``ni_stall``) happens at the open-loop arrival boundary,
+where the driver accounts it as a fault-induced drop.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import FrozenSet, Hashable, List, Mapping, Sequence
+
+from repro.errors import FaultError
+from repro.scenario.registry import register_fault_model
+
+#: Knuth's multiplicative hash constant, used for deterministic per-packet
+#: loss decisions (cheap, seed-mixed, uniform enough over packet ids).
+_HASH_MULTIPLIER = 2654435761
+_HASH_MASK = 0xFFFFFFFF
+
+
+class FaultModel(abc.ABC):
+    """One kind of degradation, bound to concrete targets per run.
+
+    Subclasses override the hot-path hooks they perturb; every hook receives
+    the live :class:`~repro.faults.injector.FaultState` (already checked to
+    be *active*), so models can consult the current window's recovery time.
+    """
+
+    #: Canonical registry name, for results and error messages.
+    name: str = ""
+    #: Model-specific constructor parameters a caller may override, with
+    #: their defaults (mirrors the workload/arrival-process protocol; the
+    #: universal ``intensity`` and schedule knobs are split off upstream).
+    param_defaults: Mapping[str, object] = {}
+
+    def __init__(self, intensity: float, seed: int = 0) -> None:
+        if not 0.0 <= intensity <= 1.0:
+            raise FaultError("fault intensity must be in [0, 1], got %r" % (intensity,))
+        self.intensity = float(intensity)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    # Construction from validated parameters
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_params(cls, intensity: float, seed: int = 0, **params: object) -> "FaultModel":
+        """Instantiate with validated parameters (unknown names fail loudly)."""
+        cls.validate_params(params)
+        return cls(intensity, seed=seed, **params)
+
+    @classmethod
+    def validate_params(cls, params: Mapping[str, object]) -> None:
+        """Raise :class:`FaultError` for names not in ``param_defaults``."""
+        unknown = sorted(set(params) - set(cls.param_defaults))
+        if unknown:
+            raise FaultError(
+                "fault model %r does not accept parameter(s) %s (accepted: %s)"
+                % (
+                    cls.name or cls.__name__,
+                    ", ".join(repr(name) for name in unknown),
+                    ", ".join(sorted(cls.param_defaults)) or "none",
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Target binding
+    # ------------------------------------------------------------------
+    def bind(self, machine, core_ids: Sequence[int]) -> None:
+        """Pick this run's concrete targets (deterministic in the seed)."""
+
+    def _sample(self, population: Sequence, rng: random.Random) -> FrozenSet:
+        """An intensity-sized seeded sample (at least one target when > 0)."""
+        if self.intensity <= 0.0 or not population:
+            return frozenset()
+        count = max(1, round(self.intensity * len(population)))
+        return frozenset(rng.sample(list(population), min(count, len(population))))
+
+    def _sorted_routers(self, machine) -> List[Hashable]:
+        """The topology's routers in a stable, representation-based order."""
+        return sorted(machine.fabric.topology.nodes(), key=repr)
+
+    # ------------------------------------------------------------------
+    # Hot-path hooks (state.active is already True when these run)
+    # ------------------------------------------------------------------
+    def hop_delay(self, state, link_key, arrival: float, hop_cycles: int) -> float:
+        """Extra cycles before the packet may acquire this link."""
+        return 0.0
+
+    def loss_delay(self, state, packet_id: int) -> float:
+        """Extra delivery cycles charged to a "lost" (retransmitted) packet."""
+        return 0.0
+
+    def issue_penalty(self, state, core_id: int) -> float:
+        """Extra cycles a core spends issuing one operation."""
+        return 0.0
+
+    def core_rejects(self, state, core_id: int) -> bool:
+        """Whether an open-loop arrival at this core is shed outright."""
+        return False
+
+
+class _RouterTargetedFault(FaultModel):
+    """Shared target selection: the outbound links of sampled routers."""
+
+    def __init__(self, intensity: float, seed: int = 0) -> None:
+        super().__init__(intensity, seed=seed)
+        self.routers: FrozenSet[Hashable] = frozenset()
+
+    def bind(self, machine, core_ids: Sequence[int]) -> None:
+        rng = random.Random(self.seed)
+        self.routers = self._sample(self._sorted_routers(machine), rng)
+
+
+class _CoreTargetedFault(FaultModel):
+    """Shared target selection: a sampled subset of the driven cores."""
+
+    def __init__(self, intensity: float, seed: int = 0) -> None:
+        super().__init__(intensity, seed=seed)
+        self.cores: FrozenSet[int] = frozenset()
+
+    def bind(self, machine, core_ids: Sequence[int]) -> None:
+        rng = random.Random(self.seed)
+        self.cores = self._sample(sorted(core_ids), rng)
+
+
+@register_fault_model("link_down")
+class LinkDownFault(_RouterTargetedFault):
+    """Outbound links of affected routers are unusable until recovery.
+
+    A packet reaching an affected link during a window is held and acquires
+    the link only at the window's recovery time — the hard-outage model: the
+    route still exists, but nothing moves over it while the fault is active.
+    """
+
+    name = "link_down"
+    param_defaults: Mapping[str, object] = {}
+
+    def hop_delay(self, state, link_key, arrival: float, hop_cycles: int) -> float:
+        if link_key[0] not in self.routers:
+            return 0.0
+        remaining = state.window_until - arrival
+        return remaining if remaining > 0.0 else 0.0
+
+
+@register_fault_model("router_degrade")
+class RouterDegradeFault(_RouterTargetedFault):
+    """Affected routers forward at a per-hop latency multiplier.
+
+    The soft-failure counterpart of ``link_down``: traffic still flows, but
+    every hop out of an affected router costs ``multiplier`` times its
+    healthy latency (the surplus is charged before link acquisition).
+    """
+
+    name = "router_degrade"
+    param_defaults: Mapping[str, object] = {"multiplier": 4.0}
+
+    def __init__(self, intensity: float, seed: int = 0, multiplier: float = 4.0) -> None:
+        super().__init__(intensity, seed=seed)
+        if multiplier < 1.0:
+            raise FaultError("router_degrade multiplier must be >= 1")
+        self.multiplier = float(multiplier)
+
+    def hop_delay(self, state, link_key, arrival: float, hop_cycles: int) -> float:
+        if link_key[0] not in self.routers:
+            return 0.0
+        return hop_cycles * (self.multiplier - 1.0)
+
+
+@register_fault_model("ni_stall")
+class NiStallFault(_CoreTargetedFault):
+    """Affected cores' NIs shed open-loop arrivals while the fault is active.
+
+    Models an NI frontend stalled in recovery: new work is rejected at the
+    arrival boundary (the driver accounts these as *fault-induced* drops,
+    separate from queue-overflow drops); in-flight operations complete.
+    """
+
+    name = "ni_stall"
+    param_defaults: Mapping[str, object] = {}
+
+    def core_rejects(self, state, core_id: int) -> bool:
+        return core_id in self.cores
+
+
+@register_fault_model("packet_loss")
+class PacketLossFault(FaultModel):
+    """A seeded fraction of in-window packets pay a retransmit penalty.
+
+    Each packet delivered while a window is active is "lost" with probability
+    ``intensity``, decided by a deterministic hash of the packet id, and
+    redelivered ``retransmit_cycles`` later — corruption-and-retry semantics
+    without stranding protocol callbacks the way a true drop would.
+    """
+
+    name = "packet_loss"
+    param_defaults: Mapping[str, object] = {"retransmit_cycles": 200.0}
+
+    def __init__(self, intensity: float, seed: int = 0,
+                 retransmit_cycles: float = 200.0) -> None:
+        super().__init__(intensity, seed=seed)
+        if retransmit_cycles < 0:
+            raise FaultError("packet_loss retransmit_cycles cannot be negative")
+        self.retransmit_cycles = float(retransmit_cycles)
+        self._threshold = int(self.intensity * (_HASH_MASK + 1))
+
+    def loss_delay(self, state, packet_id: int) -> float:
+        mixed = ((packet_id + self.seed) * _HASH_MULTIPLIER) & _HASH_MASK
+        if mixed < self._threshold:
+            return self.retransmit_cycles
+        return 0.0
+
+
+@register_fault_model("slow_node")
+class SlowNodeFault(_CoreTargetedFault):
+    """Affected cores issue operations with extra per-operation latency.
+
+    The straggler model: a thermally-throttled or interference-laden node
+    keeps serving, just slower — each issue on an affected core costs an
+    extra ``penalty_cycles`` on top of the WQ-write instruction cost.
+    """
+
+    name = "slow_node"
+    param_defaults: Mapping[str, object] = {"penalty_cycles": 50.0}
+
+    def __init__(self, intensity: float, seed: int = 0,
+                 penalty_cycles: float = 50.0) -> None:
+        super().__init__(intensity, seed=seed)
+        if penalty_cycles < 0:
+            raise FaultError("slow_node penalty_cycles cannot be negative")
+        self.penalty_cycles = float(penalty_cycles)
+
+    def issue_penalty(self, state, core_id: int) -> float:
+        if core_id in self.cores:
+            return self.penalty_cycles
+        return 0.0

@@ -15,6 +15,13 @@ Multi-tenant mixes partition the workload's cores between
 :class:`TenantLoad` entries, each with its own arrival process and share of
 the offered load; results carry per-tenant breakdowns next to the
 machine-wide aggregate.
+
+A ``faults`` name (``FAULT_MODELS`` registry) runs the load under seeded
+fault injection: a :class:`~repro.faults.injector.FaultInjector` is installed
+for the run's horizon, arrivals shed by an active ``ni_stall`` fault are
+accounted as *fault-induced* drops (separate from queue-overflow drops), and
+completions additionally feed a :class:`~repro.faults.metrics.WindowedTails`
+recorder so results carry per-window p99 rows for recovery analysis.
 """
 
 from __future__ import annotations
@@ -26,11 +33,16 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 from repro.errors import WorkloadError
 from repro.load.arrivals import ArrivalProcess
-from repro.scenario.registry import ARRIVALS
+from repro.scenario.registry import ARRIVALS, FAULT_MODELS
 from repro.sim.stats import LatencyHistogram, StatAccumulator
 
 #: Default bound on requests waiting per core before arrivals are dropped.
 DEFAULT_QUEUE_DEPTH = 64
+
+#: Default :class:`~repro.faults.metrics.WindowedTails` bucket width used for
+#: per-window tail rows on faulted runs (overridable via the
+#: ``tail_window_cycles`` fault parameter).
+DEFAULT_TAIL_WINDOW_CYCLES = 500.0
 
 
 @dataclass(frozen=True)
@@ -75,7 +87,11 @@ class _TenantState:
     def reset_counters(self) -> None:
         #: Arrival-clock firings (fed + dropped).
         self.arrived = 0
+        #: Arrivals shed because the per-core queue was full.
         self.dropped = 0
+        #: Arrivals shed by an active fault (e.g. ``ni_stall``) — reported
+        #: separately so chaos sweeps can tell load shedding from overload.
+        self.fault_dropped = 0
         #: Completions of requests *fed during the measurement window* (so
         #: achieved throughput never counts warm-up carryover and can never
         #: exceed the injected rate).
@@ -121,6 +137,19 @@ class OpenLoopResult:
     completed: int = 0
     dropped: int = 0
     final_backlog: int = 0
+    #: Fault model driven during the run (None on fault-free runs; the
+    #: fault_* fields below are only meaningful — and only serialized —
+    #: when set).
+    faults: Optional[str] = None
+    #: Arrivals shed by an active fault, separate from queue-bound drops.
+    fault_dropped: int = 0
+    #: Fault windows that activated during the run.
+    fault_windows: int = 0
+    #: Fault hook invocations that actually perturbed the simulation.
+    fault_hits: int = 0
+    #: Fault identity and per-window tail rows (model, intensity,
+    #: fingerprints, realized windows, windowed p99 latencies).
+    fault_profile: Dict[str, object] = field(default_factory=dict)
     #: Mean queue depth *seen by arriving requests* (not a time average;
     #: the two coincide only for Poisson arrivals).
     mean_queue_depth: float = 0.0
@@ -144,14 +173,17 @@ class OpenLoopResult:
 
     @property
     def drop_fraction(self) -> float:
-        return self.dropped / self.arrived if self.arrived else 0.0
+        """Fraction of arrivals shed for any reason (queue-bound or fault)."""
+        if not self.arrived:
+            return 0.0
+        return (self.dropped + self.fault_dropped) / self.arrived
 
     def latency_ns(self, key: str) -> float:
         """One latency statistic converted from cycles to nanoseconds."""
         return self.latency_cycles.get(key, 0.0) / self.frequency_ghz
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        document: Dict[str, object] = {
             "rate_per_kcycle": self.rate_per_kcycle,
             "arrivals": self.arrivals,
             "warmup_cycles": self.warmup_cycles,
@@ -171,6 +203,15 @@ class OpenLoopResult:
             "latency_cycles": dict(self.latency_cycles),
             "tenants": {name: dict(stats) for name, stats in self.tenants.items()},
         }
+        # Fault-free results serialize exactly as before fault injection
+        # existed (same contract as ScenarioSpec.to_dict).
+        if self.faults is not None:
+            document["faults"] = self.faults
+            document["fault_dropped"] = self.fault_dropped
+            document["fault_windows"] = self.fault_windows
+            document["fault_hits"] = self.fault_hits
+            document["fault_profile"] = dict(self.fault_profile)
+        return document
 
 
 class OpenLoopDriver:
@@ -188,6 +229,8 @@ class OpenLoopDriver:
         measure_cycles: float = 30_000.0,
         seed: int = 1,
         tenants: Optional[Sequence[TenantLoad]] = None,
+        faults: Optional[str] = None,
+        fault_params: Optional[Mapping[str, object]] = None,
     ) -> None:
         if rate_per_kcycle <= 0:
             raise WorkloadError("offered load must be positive (requests per kcycle)")
@@ -212,8 +255,15 @@ class OpenLoopDriver:
         names = [tenant.name for tenant in self.tenants]
         if len(set(names)) != len(names):
             raise WorkloadError("tenant names must be unique, got %s" % (names,))
+        self.faults = FAULT_MODELS.resolve(faults) if faults is not None else None
+        if self.faults is None and fault_params:
+            raise WorkloadError("fault_params given without a fault model name")
+        self.fault_params = dict(fault_params or {})
         self._states: List[_TenantState] = []
         self._measure_start = math.inf
+        self._injector = None
+        self._fault_state = None
+        self._window_tails = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -223,8 +273,9 @@ class OpenLoopDriver:
                   **kwargs: object) -> "OpenLoopDriver":
         """Build the scenario from a :class:`ScenarioSpec` and wrap it.
 
-        The spec's ``arrivals``/``arrival_params`` fields, when set, become
-        the driver defaults (explicit keyword arguments still win).
+        The spec's ``arrivals``/``arrival_params`` (and
+        ``faults``/``fault_params``) fields, when set, become the driver
+        defaults (explicit keyword arguments still win).
         """
         from repro.scenario.builder import MachineBuilder
 
@@ -234,6 +285,10 @@ class OpenLoopDriver:
             # caller-overridden process may not accept them at all.
             kwargs["arrivals"] = spec.arrivals
             kwargs.setdefault("arrival_params", spec.arrival_params)
+        if spec.faults is not None and "faults" not in kwargs:
+            # Same contract as arrivals: params travel with their model.
+            kwargs["faults"] = spec.faults
+            kwargs.setdefault("fault_params", spec.fault_params)
         return cls(scenario, rate_per_kcycle, **kwargs)
 
     def _tenant_process(self, tenant: TenantLoad, share: float) -> ArrivalProcess:
@@ -293,6 +348,10 @@ class OpenLoopDriver:
             posted_at = core.last_completion_posted_at
             if posted_at is not None and posted_at >= self._measure_start:
                 state.completed += 1
+            tails = self._window_tails
+            if tails is not None and posted_at is not None:
+                now = self.machine.sim.now
+                tails.record(now, now - posted_at)
         return on_complete
 
     def _arrive(self, state: _TenantState) -> None:
@@ -301,6 +360,13 @@ class OpenLoopDriver:
         core = state.cores[state.next_core % len(state.cores)]
         state.next_core += 1
         state.arrived += 1
+        faults = self._fault_state
+        if faults is not None and faults.core_rejects(core.core_id):
+            # The NI frontend sheds this arrival outright; the request never
+            # joins a queue, so no depth sample either.
+            state.fault_dropped += 1
+            self._schedule_next(state)
+            return
         state.queue_depth.add(core.queued)
         if core.queued >= self.queue_depth:
             state.dropped += 1
@@ -333,6 +399,27 @@ class OpenLoopDriver:
             }
             self._states.append(state)
         self._measure_start = math.inf  # nothing counts until warm-up ends
+        if self.faults is not None:
+            from repro.faults import build_fault_injector
+            from repro.faults.metrics import WindowedTails
+
+            params = dict(self.fault_params)
+            tail_window = float(
+                params.pop("tail_window_cycles", DEFAULT_TAIL_WINDOW_CYCLES)
+            )
+            if tail_window <= 0:
+                raise WorkloadError("tail_window_cycles must be positive")
+            self._window_tails = WindowedTails(tail_window)
+            self._injector = build_fault_injector(
+                machine, self.faults, params, seed=self.seed,
+                core_ids=[core.core_id for core in cores],
+            )
+            self._injector.install(horizon=self.warmup_cycles + self.measure_cycles)
+            self._fault_state = self._injector.state
+        else:
+            self._injector = None
+            self._fault_state = None
+            self._window_tails = None
         for state in self._states:
             for core in state.cores:
                 core.use_exact_latency()
@@ -366,6 +453,7 @@ class OpenLoopDriver:
             queue_depth=self.queue_depth,
             max_outstanding=self.max_outstanding,
             frequency_ghz=self.machine.config.cores.frequency_ghz,
+            faults=self.faults,
         )
         overall = LatencyHistogram("open-loop-latency")
         depth = StatAccumulator("queue-depth")
@@ -375,17 +463,18 @@ class OpenLoopDriver:
             depth.merge(state.queue_depth)
             completed = state.completed
             result.arrived += state.arrived
-            result.injected += state.arrived - state.dropped
+            result.injected += state.arrived - state.dropped - state.fault_dropped
             result.completed += completed
             result.dropped += state.dropped
+            result.fault_dropped += state.fault_dropped
             share_backlog = sum(core.queued for core in state.cores)
             result.final_backlog += share_backlog
-            result.tenants[state.tenant.name] = {
+            tenant_stats = {
                 "weight": state.tenant.weight,
                 "arrivals": state.process.name,
                 "cores": len(state.cores),
                 "arrived": state.arrived,
-                "injected": state.arrived - state.dropped,
+                "injected": state.arrived - state.dropped - state.fault_dropped,
                 "completed": completed,
                 "dropped": state.dropped,
                 "drop_fraction": state.dropped / state.arrived if state.arrived else 0.0,
@@ -394,6 +483,29 @@ class OpenLoopDriver:
                 "exhausted": state.exhausted,
                 "latency_cycles": tenant_hist.as_dict(),
             }
+            if self.faults is not None:
+                # Added only on faulted runs so fault-free per-tenant dicts
+                # stay byte-identical to pre-fault results.
+                tenant_stats["fault_dropped"] = state.fault_dropped
+                tenant_stats["fault_drop_fraction"] = (
+                    state.fault_dropped / state.arrived if state.arrived else 0.0
+                )
+            result.tenants[state.tenant.name] = tenant_stats
         result.mean_queue_depth = depth.mean
         result.latency_cycles = overall.as_dict()
+        injector = self._injector
+        if injector is not None:
+            fstate = self._fault_state
+            tails = self._window_tails
+            result.fault_windows = fstate.windows
+            result.fault_hits = fstate.hits
+            result.fault_profile = {
+                "model": injector.model.name,
+                "intensity": injector.model.intensity,
+                "fingerprint": injector.fingerprint(),
+                "schedule_fingerprint": injector.schedule.schedule_fingerprint(),
+                "windows": [[on, off] for on, off in injector.windows],
+                "tail_window_cycles": tails.window_cycles,
+                "window_p99": [list(row) for row in tails.window_percentiles(99.0)],
+            }
         return result

@@ -37,6 +37,23 @@ Two details keep fused runs byte-identical to unfused ones:
 
 ``REPRO_HOP_FUSION=0`` (or ``hop_fusion=False``) force-disables fusion; the
 equivalence suite runs every figure both ways and compares bytes.
+
+Fault injection
+---------------
+
+A :class:`~repro.faults.injector.FaultState` attached as :attr:`faults`
+perturbs routing while a fault window is active: per-hop extra delay before
+link acquisition (``link_down`` deferral, ``router_degrade`` multipliers)
+and a retransmit penalty folded into final delivery (``packet_loss``).
+Every check is gated on ``faults is not None``, so unfaulted runs stay
+bit-identical.  Fusion needs no extra guard at fault boundaries: the
+injector's activation/deactivation toggles are cancellable queue-resident
+events, so :meth:`~repro.sim.engine.Simulator.next_event_time` never exceeds
+the next toggle and the strict ``arrival < head`` bound stops a fused walk
+at the boundary — falling back to per-hop events exactly like the queue-head
+tie case.  Since every link *acquisition* time is lookahead-guarded, the
+fault state a fused walk observes is identical to the one the per-hop event
+chain would observe, hop for hop.
 """
 
 from __future__ import annotations
@@ -54,6 +71,11 @@ from repro.sim.engine import Simulator
 from repro.sim.resource import Channel
 
 DeliveryCallback = Callable[[Packet], None]
+
+#: One channel-bound hop: (channel, hop_cycles, crosses_bisection, link_key).
+#: The link key rides along so fault models can target specific routers
+#: without any topology lookups on the hot path.
+BoundHop = Tuple[Channel, int, bool, Tuple[Hashable, Hashable]]
 
 
 def hop_fusion_default() -> bool:
@@ -83,10 +105,12 @@ class NocFabric:
         self.hop_fusion = hop_fusion_default() if hop_fusion is None else bool(hop_fusion)
         self.link_bytes = noc_config.link_bytes
         self._channels: Dict[Tuple[Hashable, Hashable], Channel] = {}
+        #: Fault state installed by a FaultInjector (None on healthy runs).
+        self.faults = None
         # Channel-bound route cache: route_cache_key -> tuple of
-        # (channel, hop_cycles, crosses_bisection) hops, so the per-hop fast
-        # path does no topology or channel-dict lookups.
-        self._bound_routes: Dict[Hashable, Tuple[Tuple[Channel, int, bool], ...]] = {}
+        # (channel, hop_cycles, crosses_bisection, link_key) hops, so the
+        # per-hop fast path does no topology or channel-dict lookups.
+        self._bound_routes: Dict[Hashable, Tuple[BoundHop, ...]] = {}
         # payload_bytes -> (flits, wire_bytes); the handful of distinct
         # payload sizes an experiment sends makes this a near-perfect cache.
         self._flit_sizes: Dict[int, Tuple[int, int]] = {}
@@ -175,12 +199,18 @@ class NocFabric:
                 # first channels FIFO exactly as before fusion existed.  The
                 # rest of the walk runs as a scheduled event, where the fused
                 # fast path is safe (see module docstring).
-                channel, hop_cycles, crosses_bisection = hops[0]
+                channel, hop_cycles, crosses_bisection, link_key = hops[0]
+                earliest = now
+                faults = self.faults
+                if faults is not None:
+                    extra = faults.hop_delay(link_key, now, hop_cycles)
+                    if extra > 0.0:
+                        earliest = now + extra
                 # Inlined Channel.acquire(flits) — see the matching block in
                 # _hop.
                 start = channel._free_at
-                if now > start:
-                    start = now
+                if earliest > start:
+                    start = earliest
                 channel._free_at = start + flits
                 channel.busy_cycles += flits
                 channel.grants += 1
@@ -198,7 +228,12 @@ class NocFabric:
                 # byte-identity with the per-hop chain (which always
                 # scheduled relative delays) must hold to the last bit.
                 if len(hops) == 1:
-                    entry = (now + (arrival + flits - 1 - now), next(sim._seq),
+                    delta = arrival + flits - 1 - now
+                    if faults is not None:
+                        loss = faults.loss_delay(packet.packet_id)
+                        if loss > 0.0:
+                            delta += loss
+                    entry = (now + delta, next(sim._seq),
                              self._deliver, (packet, callback))
                 else:
                     entry = (now + (arrival - now), next(sim._seq), self._hop,
@@ -284,16 +319,17 @@ class NocFabric:
             self._channels[link.key] = channel
         return channel
 
-    def _bind_links(self, links: Sequence[Link]) -> Tuple[Tuple[Channel, int, bool], ...]:
+    def _bind_links(self, links: Sequence[Link]) -> Tuple[BoundHop, ...]:
         """Resolve each link of a route to its channel once."""
         return tuple(
-            (self._channel(link), link.hop_cycles, link.key in self._bisection_keys)
+            (self._channel(link), link.hop_cycles,
+             link.key in self._bisection_keys, link.key)
             for link in links
         )
 
     def _bound_route(
         self, src: Hashable, dst: Hashable, msg_class: MessageClass, packet_id: int
-    ) -> Tuple[Tuple[Channel, int, bool], ...]:
+    ) -> Tuple[BoundHop, ...]:
         """The channel-bound route for a packet, cached when the topology allows.
 
         Uncacheable routes (topologies without a :meth:`Topology.route_cache_key`)
@@ -308,7 +344,7 @@ class NocFabric:
             self._bound_routes[key] = bound
         return bound
 
-    def _hop(self, packet: Packet, hops: Sequence[Tuple[Channel, int, bool]], index: int,
+    def _hop(self, packet: Packet, hops: Sequence[BoundHop], index: int,
              flits: int, wire: int, callback: Optional[DeliveryCallback]) -> None:
         """Walk the remaining hops, fusing as far as the lookahead allows.
 
@@ -342,8 +378,13 @@ class NocFabric:
         now = sim._now
         arrival = now
         fused = 0
+        faults = self.faults
         while True:
-            channel, hop_cycles, crosses_bisection = hops[index]
+            channel, hop_cycles, crosses_bisection, link_key = hops[index]
+            if faults is not None:
+                extra = faults.hop_delay(link_key, arrival, hop_cycles)
+                if extra > 0.0:
+                    arrival = arrival + extra
             # Inlined Channel.acquire(flits, earliest=arrival) — one call per
             # hop is the hottest path in the whole simulator; keep in sync
             # with repro.sim.resource.Resource.acquire.
@@ -367,7 +408,12 @@ class NocFabric:
                 # and the completion event delivers directly.  Event times
                 # stay now + delta, matching the unfused chain bit for bit
                 # (see the note in send()).
-                entry = (now + (arrival + flits - 1 - now), next(sim._seq),
+                delta = arrival + flits - 1 - now
+                if faults is not None:
+                    loss = faults.loss_delay(packet.packet_id)
+                    if loss > 0.0:
+                        delta += loss
+                entry = (now + delta, next(sim._seq),
                          self._deliver, (packet, callback))
                 break
             if arrival < head:

@@ -182,7 +182,11 @@ class CoreModel:
             # Closed loop: the entry is created the instant the core issues
             # it.  Open-loop entries were already stamped at arrival (feed()).
             entry.posted_at = self.sim.now
-        self.sim.schedule_fast(self.calibration.wq_write_instruction_cycles, self._store_wq_entry, entry)
+        delay = self.calibration.wq_write_instruction_cycles
+        faults = self.soc.fault_state
+        if faults is not None:
+            delay += faults.issue_penalty(self.core_id)
+        self.sim.schedule_fast(delay, self._store_wq_entry, entry)
 
     def _store_wq_entry(self, entry: WorkQueueEntry) -> None:
         index = self.qp.wq.post(entry)

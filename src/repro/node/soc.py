@@ -54,6 +54,9 @@ class ManycoreSoc(NodeServices):
         self.node_id = node_id
         self.placement = build_placement(config)
         self.fabric = NocFabric(self.sim, self.placement.topology, config.noc)
+        #: Fault state installed by a FaultInjector (None on healthy runs);
+        #: consulted by the core issue path for slow-node penalties.
+        self.fault_state = None
         self.address_map = AddressMap(
             llc_slices=self.placement.llc_slice_count,
             memory_controllers=len(self.placement.mc_nodes),

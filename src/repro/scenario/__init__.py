@@ -4,14 +4,16 @@ This subsystem makes every axis of the paper's design space a first-class,
 registry-backed extension point:
 
 * **Component registries** (:mod:`repro.scenario.registry`) — NI designs,
-  topologies, workloads and open-loop arrival processes register themselves
-  by name with decorators (``@register_ni_design("edge")``,
-  ``@register_topology("mesh")``, ``@register_workload("uniform_random")``,
-  ``@register_arrival_process("poisson")``).  The machine factory, the CLI
-  (``repro-experiments list --designs/--topologies/--workloads/--arrivals``)
-  and the experiment layer all enumerate and resolve components through
-  these registries, so a new design/topology/workload/arrival process never
-  requires editing core modules.
+  topologies, workloads, open-loop arrival processes and fault models
+  register themselves by name with decorators
+  (``@register_ni_design("edge")``, ``@register_topology("mesh")``,
+  ``@register_workload("uniform_random")``,
+  ``@register_arrival_process("poisson")``,
+  ``@register_fault_model("link_down")``).  The machine factory, the CLI
+  (``repro-experiments list --designs/--topologies/--workloads/--arrivals/
+  --faults``) and the experiment layer all enumerate and resolve components
+  through these registries, so a new design/topology/workload/arrival
+  process/fault model never requires editing core modules.
 * **Declarative specs** (:mod:`repro.scenario.spec`) — a
   :class:`ScenarioSpec` names a design + topology + workload (+ parameter
   and config overrides), round-trips through JSON and carries a stable
@@ -27,12 +29,14 @@ Registering and running a custom workload takes ~15 lines; see the
 
 from repro.scenario.registry import (
     ARRIVALS,
+    FAULT_MODELS,
     NI_DESIGNS,
     TOPOLOGIES,
     WORKLOADS,
     ComponentRegistry,
     RegistryEntry,
     register_arrival_process,
+    register_fault_model,
     register_ni_design,
     register_topology,
     register_workload,
@@ -54,10 +58,12 @@ __all__ = [
     "ComponentRegistry",
     "RegistryEntry",
     "ARRIVALS",
+    "FAULT_MODELS",
     "NI_DESIGNS",
     "TOPOLOGIES",
     "WORKLOADS",
     "register_arrival_process",
+    "register_fault_model",
     "register_ni_design",
     "register_topology",
     "register_workload",

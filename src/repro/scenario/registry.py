@@ -182,7 +182,7 @@ class ComponentRegistry:
 
 
 # ----------------------------------------------------------------------
-# The four scenario axes
+# The five scenario axes
 # ----------------------------------------------------------------------
 #: NI placements: assembly classes building the chip's RGP/RCP/RRPP pipelines
 #: (metadata ``messaging=False`` marks the load/store NUMA baseline).
@@ -198,6 +198,11 @@ WORKLOADS = ComponentRegistry("workload")
 #: built-ins live in :mod:`repro.load.arrivals`, hence the distinct populate
 #: module.
 ARRIVALS = ComponentRegistry("arrival process", populate="repro.load.arrivals")
+#: Fault models (:class:`repro.faults.models.FaultModel` subclasses) the
+#: fault-injection subsystem activates on a seeded window schedule; the
+#: built-ins live in :mod:`repro.faults.models`, hence the distinct populate
+#: module.
+FAULT_MODELS = ComponentRegistry("fault model", populate="repro.faults.models")
 
 
 def register_ni_design(name: str, **metadata: object):
@@ -218,3 +223,8 @@ def register_workload(name: str, **metadata: object):
 def register_arrival_process(name: str, **metadata: object):
     """Register an arrival process, e.g. ``@register_arrival_process("poisson")``."""
     return ARRIVALS.register(name, **metadata)
+
+
+def register_fault_model(name: str, **metadata: object):
+    """Register a fault model, e.g. ``@register_fault_model("link_down")``."""
+    return FAULT_MODELS.register(name, **metadata)

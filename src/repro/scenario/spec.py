@@ -29,7 +29,13 @@ from typing import Dict, Mapping, Optional
 
 from repro.config import SystemConfig
 from repro.errors import ScenarioError
-from repro.scenario.registry import ARRIVALS, NI_DESIGNS, TOPOLOGIES, WORKLOADS
+from repro.scenario.registry import (
+    ARRIVALS,
+    FAULT_MODELS,
+    NI_DESIGNS,
+    TOPOLOGIES,
+    WORKLOADS,
+)
 
 
 def _jsonable(value: object) -> object:
@@ -62,6 +68,13 @@ class ScenarioSpec:
     arrivals: Optional[str] = None
     #: Overrides for the arrival process's declared parameters.
     arrival_params: Mapping[str, object] = field(default_factory=dict)
+    #: Fault model (``FAULT_MODELS`` registry name); None means the scenario
+    #: runs fault-free.  Like ``arrivals``, only the load subsystem acts on
+    #: these fields — MachineBuilder ignores them.
+    faults: Optional[str] = None
+    #: Overrides for the fault model (``intensity``, schedule knobs such as
+    #: ``mtbf_cycles``/``mttr_cycles``, and model-specific parameters).
+    fault_params: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         # Canonicalize names through the registries (raises RegistryError —
@@ -76,6 +89,11 @@ class ScenarioSpec:
         elif self.arrival_params:
             raise ScenarioError("arrival_params given without an arrivals process name")
         object.__setattr__(self, "arrival_params", _jsonable(dict(self.arrival_params)))
+        if self.faults is not None:
+            object.__setattr__(self, "faults", FAULT_MODELS.resolve(self.faults))
+        elif self.fault_params:
+            raise ScenarioError("fault_params given without a fault model name")
+        object.__setattr__(self, "fault_params", _jsonable(dict(self.fault_params)))
 
     # ------------------------------------------------------------------
     # Derivation
@@ -136,11 +154,17 @@ class ScenarioSpec:
         if self.arrivals is not None:
             document["arrivals"] = self.arrivals
             document["arrival_params"] = dict(self.arrival_params)
+        # Likewise: fault-free specs serialize exactly as before fault
+        # injection existed, keeping their fingerprints unchanged.
+        if self.faults is not None:
+            document["faults"] = self.faults
+            document["fault_params"] = dict(self.fault_params)
         return document
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "ScenarioSpec":
         arrivals = payload.get("arrivals")
+        faults = payload.get("faults")
         try:
             return cls(
                 design=str(payload.get("design", "split")),
@@ -150,6 +174,8 @@ class ScenarioSpec:
                 config_overrides=dict(payload.get("config_overrides", {})),
                 arrivals=str(arrivals) if arrivals is not None else None,
                 arrival_params=dict(payload.get("arrival_params", {})),
+                faults=str(faults) if faults is not None else None,
+                fault_params=dict(payload.get("fault_params", {})),
             )
         except (TypeError, ValueError) as exc:
             raise ScenarioError("malformed scenario document: %s" % exc) from None

@@ -46,7 +46,8 @@ class PerfCounters:
     to the record only, so the component itself stays collectable.
     """
 
-    __slots__ = ("events", "packets", "peak_pending", "fused_hops", "fast_events")
+    __slots__ = ("events", "packets", "peak_pending", "fused_hops", "fast_events",
+                 "fault_windows", "fault_hits")
 
     def __init__(self) -> None:
         self.events = 0
@@ -57,6 +58,11 @@ class PerfCounters:
         self.fused_hops = 0
         #: Events scheduled through the allocation-free fast path.
         self.fast_events = 0
+        #: Fault windows activated by an installed fault injector.
+        self.fault_windows = 0
+        #: Fault hook invocations that actually perturbed the simulation
+        #: (a deferred hop, a shed arrival, a retransmitted packet, ...).
+        self.fault_hits = 0
 
 
 class PerfSession:
@@ -64,7 +70,8 @@ class PerfSession:
 
     __slots__ = ("_counters", "_started_at", "wall_s",
                  "events", "packets", "peak_pending_events",
-                 "fused_hops", "fast_events", "_closed")
+                 "fused_hops", "fast_events", "fault_windows", "fault_hits",
+                 "_closed")
 
     def __init__(self) -> None:
         self._counters: List[PerfCounters] = []
@@ -76,6 +83,8 @@ class PerfSession:
         self.peak_pending_events = 0
         self.fused_hops = 0
         self.fast_events = 0
+        self.fault_windows = 0
+        self.fault_hits = 0
 
     # ------------------------------------------------------------------
     # Collection
@@ -93,6 +102,8 @@ class PerfSession:
         self.packets = sum(counters.packets for counters in self._counters)
         self.fused_hops = sum(counters.fused_hops for counters in self._counters)
         self.fast_events = sum(counters.fast_events for counters in self._counters)
+        self.fault_windows = sum(counters.fault_windows for counters in self._counters)
+        self.fault_hits = sum(counters.fault_hits for counters in self._counters)
         self.peak_pending_events = max(
             (counters.peak_pending for counters in self._counters), default=0
         )
@@ -120,6 +131,8 @@ class PerfSession:
             "peak_pending_events": float(self.peak_pending_events),
             "fused_hops": float(self.fused_hops),
             "fast_events": float(self.fast_events),
+            "fault_windows": float(self.fault_windows),
+            "fault_hits": float(self.fault_hits),
         }
 
 
@@ -142,6 +155,11 @@ def register_simulator(sim: Any) -> PerfCounters:
 
 def register_fabric(fabric: Any) -> PerfCounters:
     """Called by ``NocFabric.__init__``; returns the fabric's counter record."""
+    return _register()
+
+
+def register_faults(state: Any) -> PerfCounters:
+    """Called by ``FaultState.__init__``; returns the state's counter record."""
     return _register()
 
 

@@ -1,0 +1,484 @@
+"""Tests for the fault-injection subsystem (repro.faults + chaos_sweep).
+
+Covers the FAULT_MODELS registry, the seeded/fingerprinted FaultSchedule,
+spec serialization compatibility (fault-free fingerprints unchanged), the
+two hard equivalence contracts — an *empty* fault schedule is byte-identical
+to no fault model at all, and faulted runs are byte-identical with hop
+fusion on and off — the queue-bound vs fault-induced drop split, resilience
+metrics, chaos_sweep determinism across reruns and parallel campaign
+workers, and the CLI/catalog surfacing.
+"""
+
+import itertools
+import json
+
+import pytest
+
+import repro.noc.packet as packet_module
+from repro.campaign import Campaign, RunRequest
+from repro.errors import FaultError, RegistryError, ScenarioError, WorkloadError
+from repro.experiments.registry import get_spec
+from repro.faults import (
+    FaultInjector,
+    FaultSchedule,
+    WindowedTails,
+    build_fault_injector,
+    derive_seed,
+    recovery_transient_cycles,
+    tail_amplification,
+)
+from repro.load import OpenLoopDriver
+from repro.scenario.builder import MachineBuilder
+from repro.scenario.registry import FAULT_MODELS
+from repro.scenario.spec import ScenarioSpec
+
+
+def build_scenario(**spec_kwargs):
+    spec_kwargs.setdefault("design", "split")
+    spec_kwargs.setdefault("workload", "kvstore")
+    return MachineBuilder(ScenarioSpec(**spec_kwargs)).build()
+
+
+def run_driver(monkeypatch, fusion=True, rate=12.0, seed=1, **kwargs):
+    """One open-loop run on a fresh machine with pinned packet ids."""
+    with monkeypatch.context() as patch:
+        patch.setenv("REPRO_HOP_FUSION", "1" if fusion else "0")
+        patch.setattr(packet_module, "_packet_ids", itertools.count())
+        scenario = build_scenario()
+        kwargs.setdefault("warmup_cycles", 1_000)
+        kwargs.setdefault("measure_cycles", 6_000)
+        return OpenLoopDriver(scenario, rate, seed=seed, **kwargs).run()
+
+
+class TestFaultRegistry:
+    def test_builtins_registered(self):
+        assert FAULT_MODELS.names() == [
+            "link_down", "ni_stall", "packet_loss", "router_degrade", "slow_node",
+        ]
+
+    def test_unknown_model_suggests(self):
+        with pytest.raises(RegistryError, match="link_down"):
+            FAULT_MODELS.get("link_dwn")
+
+    def test_models_declare_param_defaults(self):
+        for entry in FAULT_MODELS.entries():
+            assert isinstance(dict(entry.component.param_defaults), dict)
+
+
+class TestFaultSchedule:
+    def test_same_seed_same_windows_and_fingerprint(self):
+        a = FaultSchedule(seed=7)
+        b = FaultSchedule(seed=7)
+        assert a.windows(50_000.0) == b.windows(50_000.0)
+        assert a.schedule_fingerprint() == b.schedule_fingerprint()
+
+    def test_different_seed_different_fingerprint(self):
+        assert (FaultSchedule(seed=1).schedule_fingerprint()
+                != FaultSchedule(seed=2).schedule_fingerprint())
+
+    def test_empty_schedule_yields_no_windows(self):
+        schedule = FaultSchedule(max_windows=0, seed=3)
+        assert schedule.windows(1e9) == []
+        assert schedule.windows(None) == []
+
+    def test_horizon_bounds_drawn_windows(self):
+        for on, _off in FaultSchedule(seed=5).windows(20_000.0):
+            assert on < 20_000.0
+
+    def test_unbounded_schedule_requires_horizon(self):
+        with pytest.raises(FaultError, match="horizon"):
+            FaultSchedule(seed=1).windows(None)
+
+    def test_max_windows_caps_the_draw(self):
+        assert len(FaultSchedule(max_windows=3, seed=1).windows(None)) == 3
+
+    def test_explicit_windows_override_the_draw(self):
+        schedule = FaultSchedule(windows=((100.0, 200.0), (500.0, 900.0)))
+        assert schedule.windows(None) == [(100.0, 200.0), (500.0, 900.0)]
+
+    def test_overlapping_explicit_windows_rejected(self):
+        with pytest.raises(FaultError, match="non-overlapping"):
+            FaultSchedule(windows=((100.0, 300.0), (200.0, 400.0)))
+        with pytest.raises(FaultError, match="non-overlapping"):
+            FaultSchedule(windows=((300.0, 100.0),))
+
+    def test_unknown_parameter_fails_loudly(self):
+        with pytest.raises(FaultError, match="mtbf_cycles"):
+            FaultSchedule.from_params(mtbf=100.0)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSchedule(mtbf_cycles=0.0)
+        with pytest.raises(FaultError):
+            FaultSchedule(start_cycles=-1.0)
+
+
+class TestFaultModels:
+    def test_intensity_must_be_a_fraction(self):
+        cls = FAULT_MODELS.get("router_degrade")
+        with pytest.raises(FaultError, match="intensity"):
+            cls(1.5)
+        with pytest.raises(FaultError, match="intensity"):
+            cls(-0.1)
+
+    def test_unknown_parameter_lists_accepted(self):
+        cls = FAULT_MODELS.get("router_degrade")
+        with pytest.raises(FaultError, match="multiplier"):
+            cls.from_params(0.5, multiplyer=2.0)
+
+    def test_router_degrade_multiplier_validated(self):
+        with pytest.raises(FaultError, match="multiplier"):
+            FAULT_MODELS.get("router_degrade").from_params(0.5, multiplier=0.5)
+
+    def test_zero_intensity_selects_no_targets(self):
+        scenario = build_scenario()
+        model = FAULT_MODELS.get("router_degrade").from_params(0.0, seed=1)
+        model.bind(scenario.machine, [0, 1, 2, 3])
+        assert model.routers == frozenset()
+
+    def test_target_selection_is_seed_deterministic(self):
+        scenario = build_scenario()
+        picks = []
+        for _ in range(2):
+            model = FAULT_MODELS.get("link_down").from_params(0.25, seed=9)
+            model.bind(scenario.machine, [])
+            picks.append(model.routers)
+        assert picks[0] == picks[1] != frozenset()
+
+    def test_packet_loss_decisions_are_hash_deterministic(self):
+        model = FAULT_MODELS.get("packet_loss").from_params(
+            0.3, seed=4, retransmit_cycles=100.0
+        )
+        first = [model.loss_delay(None, pid) for pid in range(200)]
+        second = [model.loss_delay(None, pid) for pid in range(200)]
+        assert first == second
+        assert 0.0 < sum(1 for d in first if d) < 200
+
+
+class TestInjector:
+    def test_fingerprint_pins_model_and_schedule(self):
+        scenario = build_scenario()
+        make = lambda seed: build_fault_injector(
+            scenario.machine, "router_degrade", {"intensity": 0.5}, seed=seed
+        )
+        assert make(1).fingerprint() == make(1).fingerprint()
+        assert make(1).fingerprint() != make(2).fingerprint()
+
+    def test_double_install_rejected(self):
+        scenario = build_scenario()
+        injector = build_fault_injector(
+            scenario.machine, "router_degrade", {"max_windows": 1}, seed=1
+        )
+        injector.install(horizon=10_000.0)
+        with pytest.raises(FaultError, match="already installed"):
+            injector.install(horizon=10_000.0)
+
+    def test_cancel_detaches_state(self):
+        scenario = build_scenario()
+        machine = scenario.machine
+        injector = build_fault_injector(
+            machine, "router_degrade", {"max_windows": 1}, seed=1
+        )
+        injector.install(horizon=10_000.0)
+        assert machine.fabric.faults is injector.state
+        assert machine.fault_state is injector.state
+        injector.cancel()
+        assert machine.fabric.faults is None
+        assert machine.fault_state is None
+
+    def test_unknown_fault_param_fails_loudly(self):
+        scenario = build_scenario()
+        with pytest.raises(FaultError, match="penalty_cycles"):
+            build_fault_injector(
+                scenario.machine, "slow_node", {"penalty": 10.0}, seed=1
+            )
+
+    def test_derive_seed_decorrelates_purposes(self):
+        assert derive_seed(1, "model", "link_down") != \
+            derive_seed(1, "schedule", "link_down")
+        assert derive_seed(1, "model", "link_down") != \
+            derive_seed(1, "model", "ni_stall")
+
+
+class TestSpecSerialization:
+    def test_fault_free_spec_serializes_without_fault_keys(self):
+        document = ScenarioSpec(workload="kvstore").to_dict()
+        assert "faults" not in document
+        assert "fault_params" not in document
+        # The exact pre-fault key set: fingerprints of existing cached
+        # results must not move.
+        assert set(document) == {
+            "design", "topology", "workload", "workload_params", "config_overrides",
+        }
+
+    def test_faulted_spec_round_trips(self):
+        spec = ScenarioSpec(
+            workload="kvstore", arrivals="poisson",
+            faults="router_degrade", fault_params={"intensity": 0.5},
+        )
+        assert spec == ScenarioSpec.from_dict(spec.to_dict())
+        assert spec.to_dict()["faults"] == "router_degrade"
+
+    def test_fault_params_without_model_rejected(self):
+        with pytest.raises(ScenarioError, match="fault model"):
+            ScenarioSpec(fault_params={"intensity": 0.5})
+
+    def test_unknown_fault_name_suggests(self):
+        with pytest.raises(RegistryError, match="router_degrade"):
+            ScenarioSpec(faults="router_degrad")
+
+    def test_driver_rejects_params_without_model(self):
+        scenario = build_scenario()
+        with pytest.raises(WorkloadError, match="fault model"):
+            OpenLoopDriver(scenario, 8.0, fault_params={"intensity": 0.5})
+
+    def test_from_spec_inherits_spec_faults(self):
+        spec = ScenarioSpec(
+            workload="kvstore", faults="ni_stall", fault_params={"intensity": 1.0},
+        )
+        driver = OpenLoopDriver.from_spec(spec, 8.0)
+        assert driver.faults == "ni_stall"
+        assert driver.fault_params == {"intensity": 1.0}
+
+
+class TestNoFaultEquivalence:
+    """An installed-but-empty fault schedule must be invisible, fused or not."""
+
+    _COMPARED = (
+        "arrived", "injected", "completed", "dropped", "final_backlog",
+        "mean_queue_depth", "latency_cycles", "tenants",
+    )
+
+    @pytest.mark.parametrize("fusion", [True, False])
+    def test_empty_schedule_matches_no_fault_run(self, monkeypatch, fusion):
+        baseline = run_driver(monkeypatch, fusion=fusion)
+        empty = run_driver(
+            monkeypatch, fusion=fusion,
+            faults="router_degrade",
+            fault_params={"intensity": 1.0, "max_windows": 0},
+        )
+        assert empty.fault_windows == 0
+        assert empty.fault_hits == 0
+        for name in self._COMPARED:
+            baseline_value = getattr(baseline, name)
+            empty_value = getattr(empty, name)
+            if name == "tenants":
+                # The faulted result's tenant dicts add the fault keys; the
+                # shared keys must match exactly.
+                for tenant, stats in baseline_value.items():
+                    assert {k: empty_value[tenant][k] for k in stats} == stats
+            else:
+                assert empty_value == baseline_value, name
+
+
+class TestFusedFaultEquivalence:
+    """Faulted runs must be byte-identical with fusion on and off."""
+
+    WINDOWS = ((1_000.0, 3_000.0), (4_500.0, 6_000.0))
+
+    @pytest.mark.parametrize("model", ["link_down", "router_degrade", "packet_loss"])
+    def test_driver_results_identical(self, monkeypatch, model):
+        params = {"intensity": 0.5, "windows": self.WINDOWS}
+        fused = run_driver(monkeypatch, fusion=True, faults=model, fault_params=params)
+        unfused = run_driver(monkeypatch, fusion=False, faults=model, fault_params=params)
+        assert json.dumps(fused.to_dict(), sort_keys=True) == \
+            json.dumps(unfused.to_dict(), sort_keys=True)
+        assert fused.fault_windows == unfused.fault_windows > 0
+
+    def test_chaos_sweep_byte_identical(self, monkeypatch):
+        params = dict(
+            loads=(8.0,), intensities=(0.5,), warmup_cycles=1000.0,
+            measure_cycles=4000.0, mtbf_cycles=1200.0, mttr_cycles=600.0,
+        )
+        results = []
+        for fusion in (True, False):
+            with monkeypatch.context() as patch:
+                patch.setenv("REPRO_HOP_FUSION", "1" if fusion else "0")
+                patch.setattr(packet_module, "_packet_ids", itertools.count())
+                result = get_spec("chaos_sweep").run(**params)
+            result.metadata.wall_time_s = 0.0
+            result.metadata.perf = {}
+            results.append(result)
+        assert results[0].to_csv() == results[1].to_csv()
+        assert json.dumps(results[0].to_dict(), sort_keys=True) == \
+            json.dumps(results[1].to_dict(), sort_keys=True)
+
+
+class TestFaultEffects:
+    def test_ni_stall_splits_drop_accounting(self, monkeypatch):
+        result = run_driver(
+            monkeypatch, rate=8.0,
+            faults="ni_stall",
+            fault_params={"intensity": 1.0, "windows": ((0.0, 1e9),)},
+        )
+        assert result.fault_dropped == result.arrived > 0
+        assert result.dropped == 0
+        assert result.injected == 0
+        for stats in result.tenants.values():
+            assert stats["fault_dropped"] == stats["arrived"]
+            assert stats["fault_drop_fraction"] == 1.0
+            assert stats["dropped"] == 0
+
+    @pytest.mark.parametrize("model,params", [
+        ("router_degrade", {"multiplier": 8.0}),
+        ("slow_node", {"penalty_cycles": 200.0}),
+        ("link_down", {}),
+    ])
+    def test_faults_amplify_the_tail(self, monkeypatch, model, params):
+        # Recover mid-run: a window covering the whole run would let nothing
+        # complete under link_down (empty tail instead of an amplified one).
+        window = {"windows": ((500.0, 3_000.0),), "intensity": 1.0}
+        window.update(params)
+        baseline = run_driver(monkeypatch, rate=8.0)
+        faulted = run_driver(monkeypatch, rate=8.0, faults=model, fault_params=window)
+        assert faulted.fault_hits > 0
+        amplification = tail_amplification(
+            faulted.latency_cycles["p99"], baseline.latency_cycles["p99"]
+        )
+        assert amplification > 1.0
+
+    def test_fault_profile_reports_identity_and_windows(self, monkeypatch):
+        result = run_driver(
+            monkeypatch, faults="router_degrade",
+            fault_params={"intensity": 0.5, "windows": ((1_000.0, 3_000.0),)},
+        )
+        profile = result.fault_profile
+        assert profile["model"] == "router_degrade"
+        assert profile["intensity"] == 0.5
+        assert profile["windows"] == [[1_000.0, 3_000.0]]
+        assert profile["window_p99"]
+        assert result.faults == "router_degrade"
+        assert result.to_dict()["fault_profile"]["fingerprint"] == \
+            profile["fingerprint"]
+
+    def test_fault_free_result_serializes_without_fault_keys(self, monkeypatch):
+        document = run_driver(monkeypatch).to_dict()
+        assert "faults" not in document
+        assert "fault_profile" not in document
+
+
+class TestResilienceMetrics:
+    def test_windowed_tails_buckets_by_time(self):
+        tails = WindowedTails(100.0)
+        tails.record(50.0, 10.0)
+        tails.record(150.0, 20.0)
+        tails.record(151.0, 30.0)
+        rows = tails.window_percentiles(99.0)
+        assert [(start, count) for start, count, _ in rows] == [(0.0, 1), (100.0, 2)]
+        assert len(tails) == 2
+
+    def test_merged_range_is_boundary_exclusive(self):
+        tails = WindowedTails(100.0)
+        tails.record(50.0, 10.0)
+        tails.record(150.0, 20.0)
+        assert tails.merged_range(0.0, 100.0).count == 1
+        assert tails.merged_range(0.0, 200.0).count == 2
+        assert tails.merged_range(200.0, 100.0).count == 0
+
+    def test_tail_amplification_guards_empty_baseline(self):
+        assert tail_amplification(100.0, 0.0) == 0.0
+        assert tail_amplification(150.0, 100.0) == 1.5
+
+    def test_recovery_transient_scans_past_recovery(self):
+        rows = [(0.0, 10, 50.0), (100.0, 10, 500.0), (200.0, 10, 60.0)]
+        transient = recovery_transient_cycles(
+            rows, [(80.0, 120.0)], 100.0, baseline_p99=50.0, tolerance=1.5
+        )
+        # Recovery at 120; the window [100, 200) is still degraded, the
+        # window [200, 300) is healthy -> transient to its end: 300 - 120.
+        assert transient == pytest.approx(180.0)
+
+    def test_recovery_transient_none_when_never_healthy(self):
+        rows = [(0.0, 10, 500.0)]
+        assert recovery_transient_cycles(
+            rows, [(10.0, 20.0)], 100.0, baseline_p99=50.0
+        ) is None
+        assert recovery_transient_cycles([], [(10.0, 20.0)], 100.0, 50.0) is None
+
+
+class TestChaosSweepDeterminism:
+    PARAMS = dict(
+        loads=(8.0,), intensities=(0.5,), warmup_cycles=1000.0,
+        measure_cycles=3000.0, mtbf_cycles=1200.0, mttr_cycles=600.0,
+    )
+
+    def _run(self, monkeypatch):
+        with monkeypatch.context() as patch:
+            patch.setattr(packet_module, "_packet_ids", itertools.count())
+            result = get_spec("chaos_sweep").run(**self.PARAMS)
+        result.metadata.wall_time_s = 0.0
+        result.metadata.perf = {}
+        return result
+
+    def test_reruns_are_byte_identical(self, monkeypatch):
+        first = self._run(monkeypatch)
+        second = self._run(monkeypatch)
+        assert first.to_csv() == second.to_csv()
+        assert json.dumps(first.to_dict(), sort_keys=True) == \
+            json.dumps(second.to_dict(), sort_keys=True)
+
+    def test_fault_counters_surface_in_metadata(self, monkeypatch):
+        with monkeypatch.context() as patch:
+            patch.setattr(packet_module, "_packet_ids", itertools.count())
+            result = get_spec("chaos_sweep").run(**self.PARAMS)
+        assert result.metadata.events["fault_windows"] > 0
+        assert result.metadata.perf["fault_windows"] > 0
+        assert result.metadata.perf["fault_hits"] > 0
+
+    def test_parallel_campaign_workers_match_serial_run(self, monkeypatch):
+        request_params = {key: list(value) if isinstance(value, tuple) else value
+                          for key, value in self.PARAMS.items()}
+
+        def requests():
+            return [
+                RunRequest("chaos_sweep", dict(request_params)),
+                RunRequest("chaos_sweep", dict(request_params, intensities=[1.0])),
+            ]
+
+        monkeypatch.setattr(packet_module, "_packet_ids", itertools.count())
+        serial = Campaign(requests()).run()
+        monkeypatch.setattr(packet_module, "_packet_ids", itertools.count())
+        parallel = Campaign(requests(), max_workers=2).run()
+        assert serial.succeeded == parallel.succeeded == 2
+        for entry_s, entry_p in zip(serial.entries, parallel.entries):
+            assert entry_s.result.rows == entry_p.result.rows
+            assert entry_s.result.notes == entry_p.result.notes
+
+    def test_campaign_report_digests_resilience(self, monkeypatch):
+        monkeypatch.setattr(packet_module, "_packet_ids", itertools.count())
+        report = Campaign([
+            RunRequest("chaos_sweep", {
+                "loads": [8.0], "intensities": [0.5], "warmup_cycles": 1000.0,
+                "measure_cycles": 3000.0, "mtbf_cycles": 1200.0,
+                "mttr_cycles": 600.0, "faults": faults,
+            })
+            for faults in ("router_degrade", "slow_node")
+        ]).run()
+        assert report.succeeded == 2
+        assert len(report.resilience_points) > 1
+        assert report.fault_windows > 0
+        formatted = report.format()
+        assert "resilience:" in formatted
+        assert "fault window(s)" in report.summary()
+
+
+class TestCliSurfacing:
+    def test_list_faults_flag(self, capsys):
+        from repro.cli import main
+        assert main(["list", "--faults"]) == 0
+        output = capsys.readouterr().out
+        assert "Fault models:" in output
+        for name in FAULT_MODELS.names():
+            assert name in output
+        assert "NI designs:" not in output
+
+    def test_json_catalog_includes_faults(self, capsys):
+        from repro.cli import main
+        assert main(["list", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        assert catalog["schema"] == "repro-catalog/1"
+        faults = catalog["registries"]["faults"]
+        assert [item["name"] for item in faults] == FAULT_MODELS.names()
+        by_name = {item["name"]: item for item in faults}
+        assert by_name["router_degrade"]["parameters"] == {"multiplier": 4.0}
+        assert "chaos_sweep" in [item["name"] for item in catalog["experiments"]]

@@ -49,6 +49,7 @@ def catalog_inventory(inventory_path: str = None) -> dict:
         "topologies": [item["name"] for item in catalog["registries"]["topologies"]],
         "workloads": [item["name"] for item in catalog["registries"]["workloads"]],
         "arrivals": [item["name"] for item in catalog["registries"].get("arrivals", [])],
+        "faults": [item["name"] for item in catalog["registries"].get("faults", [])],
         "experiments": [item["name"] for item in catalog["experiments"]],
     }
 
@@ -83,10 +84,10 @@ def main(argv: list) -> int:
               file=sys.stderr)
         return 1
     print("registry inventory matches %s (%d designs, %d topologies, %d workloads, "
-          "%d arrival processes, %d experiments)" % (
+          "%d arrival processes, %d fault models, %d experiments)" % (
               manifest_path, len(actual["designs"]), len(actual["topologies"]),
               len(actual["workloads"]), len(actual["arrivals"]),
-              len(actual["experiments"])))
+              len(actual["faults"]), len(actual["experiments"])))
     return 0
 
 
