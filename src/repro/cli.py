@@ -21,6 +21,14 @@ campaign report as JSON (``--json [PATH]``), merged CSV (``--csv [PATH]``)
 or plain text (default; ``--output PATH`` to also write it to a file).
 ``report`` reloads a saved JSON report and re-renders it.
 
+``lint`` runs the AST-based determinism & kernel-contract linter
+(:mod:`repro.lint`) over the given paths (the installed ``repro`` package by
+default)::
+
+    repro-experiments lint src/repro
+    repro-experiments lint src/repro --rules REP001,REP005 --json -
+    repro-experiments lint src/repro --baseline tools/lint_baseline.json
+
 The seed interface (``repro-experiments table1 fig5``, ``--list``,
 ``--fast``) is still accepted and mapped onto the subcommands.
 """
@@ -39,7 +47,7 @@ from repro.experiments.registry import get_spec, iter_specs, list_experiments
 from repro.experiments.runner import fast_experiments
 from repro.version import PAPER_TITLE, PAPER_VENUE, __version__
 
-_SUBCOMMANDS = ("run", "list", "sweep", "report")
+_SUBCOMMANDS = ("run", "list", "sweep", "report", "lint")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,6 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
                              help="list only the registered arrival processes")
     list_parser.add_argument("--faults", action="store_true",
                              help="list only the registered fault models")
+    list_parser.add_argument("--lint-rules", action="store_true",
+                             help="list only the registered lint rules")
 
     run_parser = subparsers.add_parser("run", help="run experiments once each")
     run_parser.add_argument("experiments", nargs="*",
@@ -78,6 +88,26 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run one experiment over a parameter grid")
     sweep_parser.add_argument("experiment", help="experiment to sweep; see 'list'")
     _add_campaign_options(sweep_parser)
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="statically check the determinism & kernel contracts (REP rules)")
+    lint_parser.add_argument("paths", nargs="*", metavar="PATH",
+                             help="files/directories to lint (default: the installed "
+                                  "repro package)")
+    lint_parser.add_argument("--rules", metavar="CODES", default=None,
+                             help="comma-separated rule subset, e.g. REP001,REP005 "
+                                  "(default: every registered rule)")
+    lint_parser.add_argument("--baseline", metavar="PATH", default=None,
+                             help="suppressions baseline JSON; matched findings are "
+                                  "reported but do not fail the gate")
+    lint_parser.add_argument("--write-baseline", metavar="PATH", default=None,
+                             help="write the current findings as a suppressions "
+                                  "baseline to PATH and exit 0")
+    lint_parser.add_argument("--manifest", metavar="PATH", default=None,
+                             help="registry manifest for rule REP004 (default: "
+                                  "discovered by walking up from the linted root)")
+    lint_parser.add_argument("--json", nargs="?", const="-", metavar="PATH", default=None,
+                             help="emit the lint report as JSON (to PATH, or stdout)")
 
     report_parser = subparsers.add_parser(
         "report", help="re-render a previously saved JSON campaign report")
@@ -129,6 +159,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         return _cmd_report(args)
     except (ReproError, OSError) as exc:
         print("repro-experiments: error: %s" % exc, file=sys.stderr)
@@ -143,6 +175,7 @@ def _registry_catalog() -> Dict[str, List[Dict[str, object]]]:
     from repro.scenario.registry import (
         ARRIVALS,
         FAULT_MODELS,
+        LINT_RULES,
         NI_DESIGNS,
         TOPOLOGIES,
         WORKLOADS,
@@ -180,9 +213,18 @@ def _registry_catalog() -> Dict[str, List[Dict[str, object]]]:
             for entry in registry.entries()
         ]
 
+    lint_rules = [
+        {
+            "name": entry.name,
+            "title": entry.metadata.get("title", entry.name),
+            "summary": entry.summary,
+        }
+        for entry in LINT_RULES.entries()
+    ]
+
     return {"designs": designs, "topologies": topologies,
             "workloads": parameterized(WORKLOADS), "arrivals": parameterized(ARRIVALS),
-            "faults": parameterized(FAULT_MODELS)}
+            "faults": parameterized(FAULT_MODELS), "lint_rules": lint_rules}
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -222,6 +264,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         ("Workloads", "workloads", args.workloads),
         ("Arrival processes", "arrivals", args.arrivals),
         ("Fault models", "faults", args.faults),
+        ("Lint rules", "lint_rules", args.lint_rules),
     ]
     only_registries = any(flag for _, _, flag in selected)
     if not only_registries:
@@ -239,7 +282,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 details.append("messaging" if item["messaging"] else "load/store baseline")
             elif key == "topologies":
                 details.append("%s-scope" % item["scope"])
-            else:  # workloads and arrival processes both declare parameters
+            elif key == "lint_rules":
+                details.append(item["title"])
+            else:  # workloads, arrival processes and fault models declare parameters
                 details.append("params: %s" % (", ".join(sorted(item["parameters"])) or "none"))
             summary = (" - %s" % item["summary"]) if item["summary"] else ""
             print("  %s (%s)%s" % (item["name"], "; ".join(details), summary))
@@ -278,6 +323,49 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     axes = parse_sweep_axes(args.experiment, args.assignments)
     requests = expand_grid(args.experiment, axes)
     return _execute(requests, args)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.lint import (
+        Baseline,
+        iter_python_files,
+        lint_paths,
+        render_json,
+        render_text,
+        resolve_rules,
+    )
+
+    if args.paths:
+        paths = list(args.paths)
+    else:
+        import repro
+
+        paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+    from repro.scenario.registry import LINT_RULES
+
+    rules = [code.strip() for code in args.rules.split(",") if code.strip()] \
+        if args.rules else None
+    resolve_rules(rules)  # fail fast (with suggestions) on unknown codes
+    rule_names = rules if rules else LINT_RULES.names()
+    root, files = iter_python_files(paths)
+    findings = lint_paths(paths, rules=rules, manifest_path=args.manifest)
+    if args.write_baseline:
+        baseline = Baseline.from_findings(findings)
+        baseline.save(args.write_baseline)
+        print("wrote %d suppression(s) to %s" % (len(baseline), args.write_baseline))
+        return 0
+    suppressed_count = 0
+    if args.baseline:
+        kept, suppressed = Baseline.load(args.baseline).apply(findings)
+        findings, suppressed_count = kept, len(suppressed)
+    if args.json is not None:
+        _emit(render_json(findings, len(files), rule_names,
+                          suppressed=suppressed_count, root=root), args.json)
+    else:
+        print(render_text(findings, len(files), rule_names, suppressed=suppressed_count))
+    return 1 if findings else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:

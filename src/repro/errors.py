@@ -66,3 +66,7 @@ class ExperimentError(ReproError):
 
 class FaultError(ReproError):
     """A fault model or fault schedule was configured with unusable parameters."""
+
+
+class LintError(ReproError):
+    """The static-analysis driver was misconfigured (bad rule, path or baseline)."""

@@ -1,0 +1,88 @@
+"""Suppressions baseline: adopt the linter without fixing history first.
+
+A baseline file records findings that are acknowledged but not yet fixed;
+``repro lint --baseline FILE`` subtracts them from the report so the CI gate
+only fails on *new* violations.  Suppressions match on ``(code, path,
+message)`` — line numbers are deliberately ignored so unrelated edits above
+a suppressed finding don't resurrect it.  An entry may omit ``message`` to
+suppress every finding of that code in that file.
+
+The checked-in baseline (``tools/lint_baseline.json``) is empty: the tree
+lints clean, and the file exists so the CI gate's invocation shape never
+changes when a suppression is temporarily needed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import LintError
+from repro.lint.finding import Finding
+
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+
+class Baseline:
+    """A set of suppressed findings, loaded from / saved to JSON."""
+
+    def __init__(self, suppressions: Optional[Sequence[Dict[str, object]]] = None) -> None:
+        #: Entries of the form {"code", "path", optional "message"}.
+        self.suppressions: List[Dict[str, str]] = [
+            {key: str(value) for key, value in entry.items()
+             if key in ("code", "path", "message")}
+            for entry in (suppressions or [])
+        ]
+
+    def __len__(self) -> int:
+        return len(self.suppressions)
+
+    def matches(self, finding: Finding) -> bool:
+        for entry in self.suppressions:
+            if entry.get("code") != finding.code or entry.get("path") != finding.path:
+                continue
+            if "message" not in entry or entry["message"] == finding.message:
+                return True
+        return False
+
+    def apply(self, findings: Sequence[Finding]) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into ``(kept, suppressed)``."""
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            (suppressed if self.matches(finding) else kept).append(finding)
+        return kept, suppressed
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {"schema": BASELINE_SCHEMA, "suppressions": list(self.suppressions)}
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls([
+            {"code": finding.code, "path": finding.path, "message": finding.message}
+            for finding in sorted(findings, key=Finding.sort_key)
+        ])
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise LintError("cannot read lint baseline %s: %s" % (path, exc))
+        except ValueError as exc:
+            raise LintError("lint baseline %s is not valid JSON: %s" % (path, exc))
+        if not isinstance(payload, dict) or "suppressions" not in payload:
+            raise LintError(
+                "lint baseline %s is missing the 'suppressions' list "
+                "(expected schema %s)" % (path, BASELINE_SCHEMA)
+            )
+        return cls(payload["suppressions"])

@@ -1,0 +1,67 @@
+"""The :class:`Finding` record every lint rule emits.
+
+A finding pins one contract violation to a source location: the rule code
+(``REP001``..), the path relative to the linted root, the line/column, a
+human-readable message and a pointer into the rule documentation.  Findings
+are JSON round-trippable (the ``--json`` reporter and the suppressions
+baseline both serialize them) and totally ordered by ``(path, line, col,
+code)`` so reports are deterministic regardless of rule execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Rule code, e.g. ``"REP002"``.
+    code: str
+    #: Path of the offending file, relative to the linted root (posix form).
+    path: str
+    #: 1-indexed source line (0 for whole-file findings).
+    line: int
+    #: 0-indexed column offset.
+    col: int
+    #: What is wrong and what to do instead.
+    message: str
+    #: Pointer to the rule's documentation (README anchor).
+    doc_url: str = ""
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def location(self) -> str:
+        """``path:line:col`` in the conventional compiler-diagnostic form."""
+        return "%s:%d:%d" % (self.path, self.line, self.col)
+
+    def format(self) -> str:
+        """One diagnostic line: ``path:line:col: CODE message (see doc)``."""
+        text = "%s: %s %s" % (self.location(), self.code, self.message)
+        if self.doc_url:
+            text += " (see %s)" % self.doc_url
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "doc_url": self.doc_url,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Finding":
+        return cls(
+            code=str(payload.get("code", "")),
+            path=str(payload.get("path", "")),
+            line=int(payload.get("line", 0)),
+            col=int(payload.get("col", 0)),
+            message=str(payload.get("message", "")),
+            doc_url=str(payload.get("doc_url", "")),
+        )

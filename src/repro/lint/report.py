@@ -1,0 +1,48 @@
+"""Text and JSON rendering of a lint run."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.finding import Finding
+
+REPORT_SCHEMA = "repro-lint-report/1"
+
+
+def render_text(findings: Sequence[Finding], files: int, rules: Sequence[str],
+                suppressed: int = 0) -> str:
+    """One diagnostic line per finding plus a summary line."""
+    lines = [finding.format() for finding in findings]
+    if findings:
+        counts: Dict[str, int] = {}
+        for finding in findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        breakdown = ", ".join("%s x%d" % (code, counts[code]) for code in sorted(counts))
+        summary = "repro lint: %d finding(s) [%s] in %d file(s)" % (
+            len(findings), breakdown, files)
+    else:
+        summary = "repro lint: clean (%d file(s), %d rule(s))" % (files, len(rules))
+    if suppressed:
+        summary += ", %d suppressed by baseline" % suppressed
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files: int, rules: Sequence[str],
+                suppressed: int = 0, root: Optional[str] = None) -> str:
+    payload = {
+        "schema": REPORT_SCHEMA,
+        "root": root,
+        "files": files,
+        "rules": list(rules),
+        "findings": [finding.to_dict() for finding in findings],
+        "suppressed": suppressed,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def parse_report(text: str) -> List[Finding]:
+    """Findings back out of a ``render_json`` document."""
+    payload = json.loads(text)
+    return [Finding.from_dict(entry) for entry in payload.get("findings", [])]

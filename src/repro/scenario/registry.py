@@ -182,7 +182,7 @@ class ComponentRegistry:
 
 
 # ----------------------------------------------------------------------
-# The five scenario axes
+# The six component axes
 # ----------------------------------------------------------------------
 #: NI placements: assembly classes building the chip's RGP/RCP/RRPP pipelines
 #: (metadata ``messaging=False`` marks the load/store NUMA baseline).
@@ -203,6 +203,11 @@ ARRIVALS = ComponentRegistry("arrival process", populate="repro.load.arrivals")
 #: built-ins live in :mod:`repro.faults.models`, hence the distinct populate
 #: module.
 FAULT_MODELS = ComponentRegistry("fault model", populate="repro.faults.models")
+#: Static-analysis rules (:class:`repro.lint.rules.LintRule` subclasses) the
+#: determinism/kernel-contract linter runs over the source tree; the
+#: built-ins live in :mod:`repro.lint.rules`, hence the distinct populate
+#: module.
+LINT_RULES = ComponentRegistry("lint rule", populate="repro.lint.rules")
 
 
 def register_ni_design(name: str, **metadata: object):
@@ -228,3 +233,8 @@ def register_arrival_process(name: str, **metadata: object):
 def register_fault_model(name: str, **metadata: object):
     """Register a fault model, e.g. ``@register_fault_model("link_down")``."""
     return FAULT_MODELS.register(name, **metadata)
+
+
+def register_lint_rule(name: str, **metadata: object):
+    """Register a lint rule, e.g. ``@register_lint_rule("REP001", title="wall-clock ban")``."""
+    return LINT_RULES.register(name, **metadata)

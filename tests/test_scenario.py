@@ -26,6 +26,9 @@ from repro.node.soc import ManycoreSoc
 from repro.numa.machine import NumaMachine
 from repro.scenario.builder import MachineBuilder, Scenario, ScenarioResult
 from repro.scenario.registry import (
+    ARRIVALS,
+    FAULT_MODELS,
+    LINT_RULES,
     NI_DESIGNS,
     TOPOLOGIES,
     WORKLOADS,
@@ -355,6 +358,9 @@ class TestRegistryManifest:
             "designs": NI_DESIGNS.names(),
             "topologies": TOPOLOGIES.names(),
             "workloads": WORKLOADS.names(),
+            "arrivals": ARRIVALS.names(),
+            "faults": FAULT_MODELS.names(),
+            "lint_rules": LINT_RULES.names(),
             "experiments": list_experiments(),
         }
         assert actual == {key: manifest[key] for key in actual}, (

@@ -1,11 +1,9 @@
 #!/usr/bin/env python
 """CI guard: validate the registry inventory against the checked-in manifest.
 
-Runs ``repro-experiments list --json`` in-process and compares the component
-registries and experiment names it reports against
-``tests/data/registry_manifest.json``.  An accidental component removal (or
-an addition without a manifest update) fails the build with a diff-style
-message.
+Thin shim kept for CI compatibility — the inventory check now lives in
+:mod:`repro.lint.manifest`, alongside lint rule REP004 (which enforces the
+same manifest statically as part of ``repro-experiments lint``).
 
 Usage::
 
@@ -18,11 +16,13 @@ catalog is generated in-process.
 
 from __future__ import annotations
 
-import io
-import json
 import os
 import sys
-from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.lint import manifest  # noqa: E402
 
 DEFAULT_MANIFEST = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -30,65 +30,18 @@ DEFAULT_MANIFEST = os.path.join(
 )
 
 
-def catalog_inventory(inventory_path: str = None) -> dict:
-    """The inventory, from a saved catalog file or the in-process CLI."""
-    if inventory_path is not None:
-        with open(inventory_path, "r", encoding="utf-8") as handle:
-            catalog = json.load(handle)
-    else:
-        from repro.cli import main
-
-        buffer = io.StringIO()
-        with redirect_stdout(buffer):
-            status = main(["list", "--json"])
-        if status != 0:
-            raise SystemExit("repro-experiments list --json failed with status %d" % status)
-        catalog = json.loads(buffer.getvalue())
-    return {
-        "designs": [item["name"] for item in catalog["registries"]["designs"]],
-        "topologies": [item["name"] for item in catalog["registries"]["topologies"]],
-        "workloads": [item["name"] for item in catalog["registries"]["workloads"]],
-        "arrivals": [item["name"] for item in catalog["registries"].get("arrivals", [])],
-        "faults": [item["name"] for item in catalog["registries"].get("faults", [])],
-        "experiments": [item["name"] for item in catalog["experiments"]],
-    }
-
-
 def main(argv: list) -> int:
-    inventory_path = None
+    # Anchor the default manifest at the repo root (not the cwd) so the shim
+    # behaves identically to the pre-lint tool wherever it is invoked from.
+    positionals = [arg for arg in argv if not arg.startswith("--")]
     if "--inventory" in argv:
+        # The --inventory value is not a manifest path.
         index = argv.index("--inventory")
-        try:
-            inventory_path = argv[index + 1]
-        except IndexError:
-            raise SystemExit("--inventory requires a path argument")
-        argv = argv[:index] + argv[index + 2:]
-    manifest_path = argv[0] if argv else DEFAULT_MANIFEST
-    with open(manifest_path, "r", encoding="utf-8") as handle:
-        manifest = json.load(handle)
-    actual = catalog_inventory(inventory_path)
-    failures = []
-    for key, names in actual.items():
-        expected = manifest.get(key, [])
-        missing = sorted(set(expected) - set(names))
-        extra = sorted(set(names) - set(expected))
-        if missing:
-            failures.append("%s: missing from the live registry: %s" % (key, ", ".join(missing)))
-        if extra:
-            failures.append("%s: not in the manifest: %s" % (key, ", ".join(extra)))
-    if failures:
-        print("registry inventory drifted from %s" % manifest_path, file=sys.stderr)
-        for failure in failures:
-            print("  " + failure, file=sys.stderr)
-        print("update tests/data/registry_manifest.json if the change is intentional",
-              file=sys.stderr)
-        return 1
-    print("registry inventory matches %s (%d designs, %d topologies, %d workloads, "
-          "%d arrival processes, %d fault models, %d experiments)" % (
-              manifest_path, len(actual["designs"]), len(actual["topologies"]),
-              len(actual["workloads"]), len(actual["arrivals"]),
-              len(actual["faults"]), len(actual["experiments"])))
-    return 0
+        if index + 1 < len(argv) and argv[index + 1] in positionals:
+            positionals.remove(argv[index + 1])
+    if not positionals:
+        argv = list(argv) + [DEFAULT_MANIFEST]
+    return manifest.main(list(argv))
 
 
 if __name__ == "__main__":
