@@ -27,7 +27,9 @@ from repro.experiments.registry import get_spec
 #: fast-event counters (``fused_hops``, ``fast_events``) to the entries.
 #: /3 added the faulted-load ``chaos_sweep`` benchmark and its fault
 #: counters (``fault_windows``, ``fault_hits``).
-BASELINE_SCHEMA = "repro-perf-baseline/3"
+#: /4 added the design-space ``explore`` benchmark (seeded evolve search
+#: over a tiny load_sweep space) and its evaluation/Pareto counters.
+BASELINE_SCHEMA = "repro-perf-baseline/4"
 
 #: Warm-up and measurement windows (cycles) for bandwidth benchmarks.
 BENCH_WARMUP_CYCLES = 3_000

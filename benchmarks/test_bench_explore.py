@@ -1,0 +1,50 @@
+"""Benchmark of the design-space exploration engine, feeding the perf baseline.
+
+Runs a seeded ``evolve`` exploration of a tiny real ``load_sweep`` space
+(NI design x arrival process, one offered load, shortened windows) through
+the full engine path — strategy rounds, campaign execution, objective
+extraction, Pareto and sensitivity bookkeeping — so the baseline tracks
+what exploration costs on top of the raw sweeps it orchestrates.
+"""
+
+from __future__ import annotations
+
+from bench_params import record_baseline
+from repro.explore import Explorer, build_space
+from repro.sim import perf
+
+EXPLORE_DIMS = ("design=edge,split", "arrivals=poisson,deterministic")
+EXPLORE_FIXED = {
+    "loads": (6.0,),
+    "warmup_cycles": 1_000.0,
+    "measure_cycles": 4_000.0,
+}
+EXPLORE_SEED = 7
+EXPLORE_BUDGET = 4
+
+
+def test_bench_explore():
+    """Seeded evolve exploration of the 2x2 smoke space."""
+    with perf.session() as session:
+        space = build_space("load_sweep", list(EXPLORE_DIMS), EXPLORE_FIXED)
+        report = Explorer(
+            space, strategy="evolve", seed=EXPLORE_SEED, budget=EXPLORE_BUDGET,
+        ).run()
+    assert report.totals["evaluations"] == EXPLORE_BUDGET
+    assert report.totals["feasible"] == EXPLORE_BUDGET
+    assert report.pareto
+    assert session.events_per_s > 0
+    record_baseline("explore", {
+        "evaluations": report.totals["evaluations"],
+        "rounds": len(report.rounds),
+        "pareto_size": len(report.pareto),
+        "events": session.events,
+        "wall_s": session.wall_s,
+        "events_per_s": session.events_per_s,
+        "peak_pending_events": session.peak_pending_events,
+        "fused_hops": session.fused_hops,
+        "fast_events": session.fast_events,
+    })
+    print("\nexplore: %.0f events/s (%d evaluations, %d on the front, %.3f s)"
+          % (session.events_per_s, report.totals["evaluations"],
+             len(report.pareto), session.wall_s))

@@ -182,9 +182,9 @@ class CampaignReport:
         if warnings:
             parts.append("\n".join("warning: %s" % warning for warning in warnings))
         saturation = self.saturation_points
-        if len(saturation) > 1:
-            # Only worth repeating as a cross-run digest when the campaign
-            # compared several load sweeps (single results carry the note).
+        if saturation:
+            # The cross-run digest carries the request labels the raw notes
+            # lack, so it earns its place even for a single load sweep.
             parts.append("\n".join(saturation))
         resilience = self.resilience_points
         if len(resilience) > 1:

@@ -21,6 +21,15 @@ campaign report as JSON (``--json [PATH]``), merged CSV (``--csv [PATH]``)
 or plain text (default; ``--output PATH`` to also write it to a file).
 ``report`` reloads a saved JSON report and re-renders it.
 
+``explore`` searches an experiment's design space with a registered search
+strategy (see ``list --strategies``), evaluating points through the same
+campaign layer and emitting the Pareto front, a parameter-sensitivity
+ranking and (with ``--json``) a byte-reproducible explore report::
+
+    repro-experiments explore --seed 7 --budget 12 --strategy evolve
+    repro-experiments explore load_sweep --dim design=edge,split \\
+        --dim window=8:32:4 --set loads=2:5 --objectives saturation,cost
+
 ``lint`` runs the AST-based determinism & kernel-contract linter
 (:mod:`repro.lint`) over the given paths (the installed ``repro`` package by
 default)::
@@ -47,7 +56,7 @@ from repro.experiments.registry import get_spec, iter_specs, list_experiments
 from repro.experiments.runner import fast_experiments
 from repro.version import PAPER_TITLE, PAPER_VENUE, __version__
 
-_SUBCOMMANDS = ("run", "list", "sweep", "report", "lint")
+_SUBCOMMANDS = ("run", "list", "sweep", "explore", "report", "lint")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,6 +85,8 @@ def build_parser() -> argparse.ArgumentParser:
                              help="list only the registered fault models")
     list_parser.add_argument("--lint-rules", action="store_true",
                              help="list only the registered lint rules")
+    list_parser.add_argument("--strategies", action="store_true",
+                             help="list only the registered search strategies")
 
     run_parser = subparsers.add_parser("run", help="run experiments once each")
     run_parser.add_argument("experiments", nargs="*",
@@ -88,6 +99,48 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run one experiment over a parameter grid")
     sweep_parser.add_argument("experiment", help="experiment to sweep; see 'list'")
     _add_campaign_options(sweep_parser)
+
+    explore_parser = subparsers.add_parser(
+        "explore", help="search an experiment's design space with a registered strategy")
+    explore_parser.add_argument("experiment", nargs="?", default="load_sweep",
+                                help="experiment to explore (default: load_sweep)")
+    explore_parser.add_argument("--strategy", default="evolve", metavar="NAME",
+                                help="search strategy; see 'list --strategies' "
+                                     "(default: evolve)")
+    explore_parser.add_argument("--seed", type=int, default=0, metavar="N",
+                                help="exploration seed; a fixed seed reproduces the "
+                                     "exact evaluation sequence and report bytes")
+    explore_parser.add_argument("--budget", type=int, default=16, metavar="N",
+                                help="maximum number of evaluated design points "
+                                     "(default: 16)")
+    explore_parser.add_argument("--dim", dest="dims", action="append", default=[],
+                                metavar="PARAM=SPEC",
+                                help="search dimension: PARAM=v1,v2,... or "
+                                     "PARAM=lo:hi[:steps]; repeatable (default: the "
+                                     "experiment's design/topology/arrivals axes)")
+    explore_parser.add_argument("--set", dest="assignments", action="append", default=[],
+                                metavar="PARAM=VALUE",
+                                help="fixed parameter override applied to every "
+                                     "evaluated point; repeatable")
+    explore_parser.add_argument("--objectives", default="saturation,p99,cost",
+                                metavar="NAMES",
+                                help="comma-separated objectives "
+                                     "(default: saturation,p99,cost)")
+    explore_parser.add_argument("--strategy-param", dest="strategy_params",
+                                action="append", default=[], metavar="NAME=VALUE",
+                                help="strategy tunable override; repeatable "
+                                     "(see 'list --strategies' for the tunables)")
+    explore_parser.add_argument("--max-rounds", type=int, default=64, metavar="N",
+                                help="safety cap on strategy rounds (default: 64)")
+    explore_parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                                help="evaluate up to N points in parallel processes")
+    explore_parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                                help="persist/reuse results keyed by content hash in DIR")
+    explore_parser.add_argument("--json", nargs="?", const="-", metavar="PATH",
+                                default=None,
+                                help="emit the explore report as JSON (to PATH, or stdout)")
+    explore_parser.add_argument("--output", metavar="PATH", default=None,
+                                help="also write the plain-text report to PATH")
 
     lint_parser = subparsers.add_parser(
         "lint", help="statically check the determinism & kernel contracts (REP rules)")
@@ -159,6 +212,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "explore":
+            return _cmd_explore(args)
         if args.command == "lint":
             return _cmd_lint(args)
         return _cmd_report(args)
@@ -174,6 +229,7 @@ def _registry_catalog() -> Dict[str, List[Dict[str, object]]]:
     """The component registries as a JSON-native inventory."""
     from repro.scenario.registry import (
         ARRIVALS,
+        EXPLORE_STRATEGIES,
         FAULT_MODELS,
         LINT_RULES,
         NI_DESIGNS,
@@ -199,8 +255,8 @@ def _registry_catalog() -> Dict[str, List[Dict[str, object]]]:
         for entry in TOPOLOGIES.entries()
     ]
     def parameterized(registry) -> List[Dict[str, object]]:
-        # Workloads, arrival processes and fault models share the
-        # param_defaults protocol.
+        # Workloads, arrival processes, fault models and search strategies
+        # share the param_defaults protocol.
         return [
             {
                 "name": entry.name,
@@ -224,7 +280,8 @@ def _registry_catalog() -> Dict[str, List[Dict[str, object]]]:
 
     return {"designs": designs, "topologies": topologies,
             "workloads": parameterized(WORKLOADS), "arrivals": parameterized(ARRIVALS),
-            "faults": parameterized(FAULT_MODELS), "lint_rules": lint_rules}
+            "faults": parameterized(FAULT_MODELS), "lint_rules": lint_rules,
+            "strategies": parameterized(EXPLORE_STRATEGIES)}
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -265,6 +322,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         ("Arrival processes", "arrivals", args.arrivals),
         ("Fault models", "faults", args.faults),
         ("Lint rules", "lint_rules", args.lint_rules),
+        ("Search strategies", "strategies", args.strategies),
     ]
     only_registries = any(flag for _, _, flag in selected)
     if not only_registries:
@@ -284,7 +342,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 details.append("%s-scope" % item["scope"])
             elif key == "lint_rules":
                 details.append(item["title"])
-            else:  # workloads, arrival processes and fault models declare parameters
+            else:  # workloads, arrivals, faults and strategies declare parameters
                 details.append("params: %s" % (", ".join(sorted(item["parameters"])) or "none"))
             summary = (" - %s" % item["summary"]) if item["summary"] else ""
             print("  %s (%s)%s" % (item["name"], "; ".join(details), summary))
@@ -323,6 +381,49 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     axes = parse_sweep_axes(args.experiment, args.assignments)
     requests = expand_grid(args.experiment, axes)
     return _execute(requests, args)
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.explore import Explorer, build_space
+
+    spec = get_spec(args.experiment)
+    fixed = spec.parse_overrides(args.assignments)
+    strategy_params: Dict[str, object] = {}
+    for assignment in args.strategy_params:
+        name, separator, text = assignment.partition("=")
+        if not separator or not name or not text:
+            raise ExperimentError(
+                "malformed --strategy-param %r (expected NAME=VALUE)" % assignment
+            )
+        try:
+            strategy_params[name] = json.loads(text)
+        except json.JSONDecodeError:
+            strategy_params[name] = text
+    objectives = [name.strip() for name in args.objectives.split(",") if name.strip()]
+    space = build_space(args.experiment, args.dims, fixed)
+    cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
+    explorer = Explorer(
+        space,
+        strategy=args.strategy,
+        objectives=objectives,
+        seed=args.seed,
+        budget=args.budget,
+        strategy_params=strategy_params,
+        cache=cache,
+        max_workers=args.parallel,
+        max_rounds=args.max_rounds,
+    )
+    report = explorer.run()
+    if args.json is not None:
+        _emit(report.to_json(), args.json)
+    else:
+        print(report.format())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report.format() + "\n")
+    return 1 if report.totals.get("failed", 0) else 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:

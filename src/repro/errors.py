@@ -70,3 +70,7 @@ class FaultError(ReproError):
 
 class LintError(ReproError):
     """The static-analysis driver was misconfigured (bad rule, path or baseline)."""
+
+
+class ExploreError(ReproError):
+    """A design-space exploration was misconfigured (bad space, objective or strategy)."""

@@ -1,0 +1,53 @@
+"""Design-space exploration: search strategies over cached campaigns.
+
+The seventh scenario axis: search strategies are registered components
+(:data:`repro.scenario.registry.EXPLORE_STRATEGIES`) that walk a
+:class:`SearchSpace` quantized from an experiment's declared parameters.
+The :class:`Explorer` compiles each strategy round onto the campaign layer
+(result caching, ``--parallel`` pools, perf counters and fingerprints for
+free) and distils the evaluated points into a Pareto front, a main-effects
+sensitivity ranking and a byte-reproducible :class:`ExploreReport`.  See
+the README's "Exploring the design space" section for usage.
+"""
+
+from repro.explore.engine import Evaluation, Explorer
+from repro.explore.objectives import (
+    OBJECTIVES,
+    Objective,
+    extract_all,
+    resolve_objectives,
+)
+from repro.explore.pareto import ParetoEntry, ParetoFront, dominates
+from repro.explore.report import ExploreReport, SCHEMA, load_explore_report
+from repro.explore.sensitivity import SensitivityRow, main_effects
+from repro.explore.space import (
+    SearchDimension,
+    SearchSpace,
+    build_space,
+    default_dimensions,
+    parse_dimension,
+)
+from repro.explore.strategies import SearchStrategy
+
+__all__ = [
+    "Evaluation",
+    "Explorer",
+    "ExploreReport",
+    "OBJECTIVES",
+    "Objective",
+    "ParetoEntry",
+    "ParetoFront",
+    "SCHEMA",
+    "SearchDimension",
+    "SearchSpace",
+    "SearchStrategy",
+    "SensitivityRow",
+    "build_space",
+    "default_dimensions",
+    "dominates",
+    "extract_all",
+    "load_explore_report",
+    "main_effects",
+    "parse_dimension",
+    "resolve_objectives",
+]

@@ -1,0 +1,222 @@
+"""The exploration engine: strategy rounds compiled onto campaigns.
+
+The :class:`Explorer` owns the conversation between a search strategy and
+the campaign layer.  Each round it asks the strategy for the next batch of
+points, deduplicates them against everything already evaluated, clips the
+batch to the unspent budget, compiles the survivors to
+:class:`~repro.campaign.request.RunRequest` objects and executes them
+through one :class:`~repro.campaign.runner.Campaign` — which is what makes
+result caching, ``--parallel`` process pools, perf counters and content
+fingerprints free here: the engine never touches the simulator directly.
+
+Determinism contract: for a fixed seed the engine produces the exact same
+evaluation sequence, Pareto set and report bytes across repeat runs and
+worker counts.  The strategy sees evaluations strictly in submission order
+(the campaign preserves request order regardless of pool width), all
+randomness comes from the strategy's seeded RNG, and the report carries no
+wall-clock fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.runner import Campaign
+from repro.errors import ExploreError
+from repro.explore.objectives import Objective, extract_all, resolve_objectives
+from repro.explore.pareto import ParetoEntry, ParetoFront
+from repro.explore.report import ExploreReport
+from repro.explore.sensitivity import main_effects
+from repro.explore.space import SearchSpace
+from repro.explore.strategies import SearchStrategy
+from repro.scenario.registry import EXPLORE_STRATEGIES
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One evaluated design point, in evaluation order."""
+
+    index: int
+    point: Mapping[str, object]
+    fingerprint: str
+    cached: bool = False
+    error: Optional[str] = None
+    #: Objective name -> value; None marks "not measurable on this result".
+    objectives: Mapping[str, Optional[float]] = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the point ran and yielded every requested objective."""
+        return self.error is None and all(
+            value is not None for value in self.objectives.values()
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "point": dict(self.point),
+            "fingerprint": self.fingerprint,
+            "cached": self.cached,
+            "error": self.error,
+            "objectives": dict(self.objectives),
+            "feasible": self.feasible,
+        }
+
+
+class Explorer:
+    """Drives one exploration of a search space to an :class:`ExploreReport`."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        strategy: str = "evolve",
+        objectives: Sequence[Union[str, Objective]] = ("saturation", "p99", "cost"),
+        seed: int = 0,
+        budget: int = 16,
+        strategy_params: Optional[Mapping[str, object]] = None,
+        cache: Optional[ResultCache] = None,
+        max_workers: int = 1,
+        max_rounds: int = 64,
+    ) -> None:
+        if max_rounds < 1:
+            raise ExploreError("exploration max_rounds must be >= 1")
+        self.space = space
+        self.strategy_name = strategy
+        self.objectives = tuple(
+            item if isinstance(item, Objective) else None
+            for item in objectives
+        )
+        if any(objective is None for objective in self.objectives):
+            self.objectives = resolve_objectives(
+                [item if isinstance(item, str) else item.name for item in objectives]
+            )
+        self.seed = int(seed)
+        self.budget = int(budget)
+        self.cache = cache
+        self.max_workers = int(max_workers)
+        self.max_rounds = int(max_rounds)
+        self.strategy_params = dict(strategy_params or {})
+        strategy_cls = EXPLORE_STRATEGIES.get(strategy)
+        if not (isinstance(strategy_cls, type) and issubclass(strategy_cls, SearchStrategy)):
+            raise ExploreError(
+                "search strategy %r does not subclass SearchStrategy" % strategy
+            )
+        self.strategy = strategy_cls(
+            space, self.objectives, self.seed, self.budget, **self.strategy_params
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExploreReport:
+        """Run strategy rounds until the budget or the strategy is exhausted."""
+        evaluations: List[Evaluation] = []
+        rounds: List[Dict[str, int]] = []
+        while len(evaluations) < self.budget and len(rounds) < self.max_rounds:
+            remaining = self.budget - len(evaluations)
+            proposals = self.strategy.propose(evaluations, remaining)
+            if not proposals:
+                break
+            batch = self._dedup(proposals, evaluations, remaining)
+            if not batch:
+                # The strategy only re-proposed evaluated points: it has
+                # nothing new to say, so the search is over.
+                break
+            rounds.append({
+                "round": len(rounds),
+                "proposed": len(proposals),
+                "evaluated": len(batch),
+            })
+            self._evaluate(batch, evaluations)
+        return self._report(evaluations, rounds)
+
+    # ------------------------------------------------------------------
+    def _dedup(
+        self,
+        proposals: Sequence[Mapping[str, object]],
+        evaluations: Sequence[Evaluation],
+        remaining: int,
+    ) -> List[Dict[str, object]]:
+        seen = {self.space.point_key(evaluation.point) for evaluation in evaluations}
+        batch: List[Dict[str, object]] = []
+        for point in proposals:
+            if len(batch) >= remaining:
+                break
+            key = self.space.point_key(point)
+            if key in seen:
+                continue
+            seen.add(key)
+            batch.append(dict(point))
+        return batch
+
+    def _evaluate(
+        self, batch: Sequence[Mapping[str, object]], evaluations: List[Evaluation]
+    ) -> None:
+        requests = [self.space.to_request(point) for point in batch]
+        report = Campaign(
+            requests, cache=self.cache, max_workers=self.max_workers
+        ).run()
+        for point, entry in zip(batch, report.entries):
+            if entry.ok:
+                values = extract_all(self.objectives, entry.result)
+            else:
+                values = {objective.name: None for objective in self.objectives}
+            evaluations.append(Evaluation(
+                index=len(evaluations),
+                point=dict(point),
+                fingerprint=entry.request.fingerprint(),
+                cached=entry.cached,
+                error=entry.error,
+                objectives=values,
+            ))
+
+    # ------------------------------------------------------------------
+    def _report(
+        self, evaluations: Sequence[Evaluation], rounds: List[Dict[str, int]]
+    ) -> ExploreReport:
+        front = ParetoFront(self.objectives)
+        for evaluation in evaluations:
+            if not evaluation.feasible:
+                continue
+            front.offer(ParetoEntry(
+                index=evaluation.index,
+                point=evaluation.point,
+                objectives={name: float(value)
+                            for name, value in evaluation.objectives.items()},
+                fingerprint=evaluation.fingerprint,
+            ))
+        sensitivity = main_effects(self.space, self.objectives, evaluations)
+        feasible = sum(1 for evaluation in evaluations if evaluation.feasible)
+        cached = sum(1 for evaluation in evaluations if evaluation.cached)
+        failed = sum(1 for evaluation in evaluations if evaluation.error is not None)
+        totals = {
+            "evaluations": len(evaluations),
+            "new_evaluations": len(evaluations) - cached,
+            "cached": cached,
+            "feasible": feasible,
+            "infeasible": len(evaluations) - feasible - failed,
+            "failed": failed,
+            "space_size": len(self.space),
+        }
+        return ExploreReport(
+            experiment=self.space.experiment,
+            strategy=self.strategy_name,
+            seed=self.seed,
+            budget=self.budget,
+            objectives=[objective.to_dict() for objective in self.objectives],
+            strategy_params=dict(self.strategy.params),
+            space=self.space.to_dict(),
+            evaluations=[evaluation.to_dict() for evaluation in evaluations],
+            rounds=rounds,
+            pareto=[
+                {
+                    "index": entry.index,
+                    "point": dict(entry.point),
+                    "objectives": dict(entry.objectives),
+                    "fingerprint": entry.fingerprint,
+                }
+                for entry in front.entries()
+            ],
+            sensitivity=[row.to_dict() for row in sensitivity],
+            totals=totals,
+        )

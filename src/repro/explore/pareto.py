@@ -1,0 +1,118 @@
+"""Non-dominated (Pareto) front maintenance over multi-objective points.
+
+Dominance is evaluated after orienting every objective so that larger is
+better (:meth:`~repro.explore.objectives.Objective.oriented`): entry ``a``
+dominates entry ``b`` when it is at least as good on every objective and
+strictly better on at least one.  The front keeps every mutually
+non-dominated entry — including exact objective ties, which are distinct
+design points worth reporting — and returns them ordered by evaluation
+index, so front contents (and their serialization) are deterministic for a
+deterministic evaluation sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from repro.errors import ExploreError
+from repro.explore.objectives import Objective
+
+
+@dataclass(frozen=True)
+class ParetoEntry:
+    """One evaluated point with its objective values."""
+
+    index: int  # evaluation order within the exploration
+    point: Mapping[str, object]
+    objectives: Mapping[str, float]
+    fingerprint: str = ""
+
+
+def dominates(
+    a: Mapping[str, float], b: Mapping[str, float], objectives: Sequence[Objective]
+) -> bool:
+    """Whether objective vector ``a`` Pareto-dominates ``b``."""
+    better_somewhere = False
+    for objective in objectives:
+        oriented_a = objective.oriented(a[objective.name])
+        oriented_b = objective.oriented(b[objective.name])
+        if oriented_a < oriented_b:
+            return False
+        if oriented_a > oriented_b:
+            better_somewhere = True
+    return better_somewhere
+
+
+class ParetoFront:
+    """The mutually non-dominated subset of everything offered so far."""
+
+    def __init__(self, objectives: Sequence[Objective]) -> None:
+        if not objectives:
+            raise ExploreError("a Pareto front needs at least one objective")
+        self.objectives = tuple(objectives)
+        self._entries: List[ParetoEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def offer(self, entry: ParetoEntry) -> bool:
+        """Add an entry unless dominated; evict entries it dominates.
+
+        Returns True when the entry joined the front.
+        """
+        for name in (objective.name for objective in self.objectives):
+            if name not in entry.objectives:
+                raise ExploreError(
+                    "Pareto entry %d lacks objective %r" % (entry.index, name)
+                )
+        for existing in self._entries:
+            if dominates(existing.objectives, entry.objectives, self.objectives):
+                return False
+        self._entries = [
+            existing for existing in self._entries
+            if not dominates(entry.objectives, existing.objectives, self.objectives)
+        ]
+        self._entries.append(entry)
+        return True
+
+    def entries(self) -> List[ParetoEntry]:
+        """Front members ordered by evaluation index (deterministic)."""
+        return sorted(self._entries, key=lambda entry: entry.index)
+
+    def weakly_dominates(self, other: "ParetoFront") -> bool:
+        """Whether every entry of ``other`` is matched-or-beaten here.
+
+        True when, for each of ``other``'s entries, some entry of this front
+        is at least as good on every objective (equality included).  This is
+        the comparison the strategy-vs-strategy acceptance check uses: a
+        refinement strategy must never end with a front a plain screening
+        strategy beats anywhere.
+        """
+        for theirs in other.entries():
+            matched = False
+            for ours in self.entries():
+                if all(
+                    objective.oriented(ours.objectives[objective.name])
+                    >= objective.oriented(theirs.objectives[objective.name])
+                    for objective in self.objectives
+                ):
+                    matched = True
+                    break
+            if not matched:
+                return False
+        return True
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "objectives": [objective.to_dict() for objective in self.objectives],
+            "entries": [
+                {
+                    "index": entry.index,
+                    "point": dict(entry.point),
+                    "objectives": dict(entry.objectives),
+                    "fingerprint": entry.fingerprint,
+                }
+                for entry in self.entries()
+            ],
+        }

@@ -1,0 +1,217 @@
+"""The schema'd, round-trippable record of one exploration.
+
+An :class:`ExploreReport` is plain data — the experiment, strategy, seed and
+budget that defined the search, the space it walked, every evaluation in
+order, the Pareto set, the sensitivity ranking and the per-round ledger —
+validated against the ``repro-explore-report/1`` schema on load.
+
+Two properties are deliberate:
+
+* **No wall-clock fields.**  The report is a pure function of the seed and
+  the space, so a fixed ``--seed`` reproduces it *byte-for-byte* across
+  repeat runs and ``--parallel`` worker counts; tests and CI diff report
+  bytes directly.
+* **Round-trippable.**  ``from_json(report.to_json())`` reconstructs an
+  equal report; downstream tooling can archive, diff and re-render
+  explorations without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import ExploreError
+
+#: Schema tag written by :meth:`ExploreReport.to_dict` and required on load.
+SCHEMA = "repro-explore-report/1"
+
+
+@dataclass
+class ExploreReport:
+    """Everything one exploration produced, as JSON-native data."""
+
+    experiment: str
+    strategy: str
+    seed: int
+    budget: int
+    objectives: List[Dict[str, object]] = field(default_factory=list)
+    strategy_params: Dict[str, object] = field(default_factory=dict)
+    space: Dict[str, object] = field(default_factory=dict)
+    evaluations: List[Dict[str, object]] = field(default_factory=list)
+    rounds: List[Dict[str, int]] = field(default_factory=list)
+    pareto: List[Dict[str, object]] = field(default_factory=list)
+    sensitivity: List[Dict[str, object]] = field(default_factory=list)
+    totals: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "experiment": self.experiment,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "budget": self.budget,
+            "objectives": self.objectives,
+            "strategy_params": self.strategy_params,
+            "space": self.space,
+            "evaluations": self.evaluations,
+            "rounds": self.rounds,
+            "pareto": self.pareto,
+            "sensitivity": self.sensitivity,
+            "totals": self.totals,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ExploreReport":
+        if not isinstance(payload, Mapping):
+            raise ExploreError("explore report document must be a JSON object")
+        schema = payload.get("schema")
+        if schema != SCHEMA:
+            raise ExploreError(
+                "unsupported explore report schema %r (expected %r)"
+                % (schema, SCHEMA)
+            )
+        try:
+            return cls(
+                experiment=str(payload["experiment"]),
+                strategy=str(payload["strategy"]),
+                seed=int(payload["seed"]),
+                budget=int(payload["budget"]),
+                objectives=list(payload.get("objectives", [])),
+                strategy_params=dict(payload.get("strategy_params", {})),
+                space=dict(payload.get("space", {})),
+                evaluations=list(payload.get("evaluations", [])),
+                rounds=list(payload.get("rounds", [])),
+                pareto=list(payload.get("pareto", [])),
+                sensitivity=list(payload.get("sensitivity", [])),
+                totals=dict(payload.get("totals", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExploreError("malformed explore report document: %s" % exc) from None
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        # sort_keys makes the byte-identity contract independent of dict
+        # construction order anywhere upstream.
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExploreReport":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ExploreError("invalid explore report JSON: %s" % exc) from None
+        return cls.from_dict(payload)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        """Human-readable Pareto set + sensitivity ranking + totals line."""
+        parts = [self._format_pareto(), self._format_sensitivity(), self.summary()]
+        return "\n\n".join(part for part in parts if part)
+
+    def summary(self) -> str:
+        totals = self.totals
+        line = (
+            "explore: %s via %s (seed %d, budget %d): "
+            "%d evaluation(s) over %d round(s), %d cached, %d feasible"
+            % (self.experiment, self.strategy, self.seed, self.budget,
+               totals.get("evaluations", len(self.evaluations)),
+               len(self.rounds), totals.get("cached", 0),
+               totals.get("feasible", 0))
+        )
+        failed = totals.get("failed", 0)
+        if failed:
+            line += ", %d failed" % failed
+        infeasible = totals.get("infeasible", 0)
+        if infeasible:
+            line += ", %d infeasible" % infeasible
+        size = totals.get("space_size")
+        if size:
+            line += "; space size %d" % size
+        return line
+
+    def _format_pareto(self) -> str:
+        if not self.pareto:
+            return "Pareto front: empty (no feasible evaluations)"
+        dimension_names = [
+            dimension.get("name", "?")
+            for dimension in self.space.get("dimensions", [])
+        ]
+        objective_names = [
+            objective.get("name", "?") for objective in self.objectives
+        ]
+        headers = ["#"] + dimension_names + objective_names
+        rows: List[List[str]] = []
+        for entry in self.pareto:
+            point = entry.get("point", {})
+            objectives = entry.get("objectives", {})
+            rows.append(
+                [str(entry.get("index", "?"))]
+                + [_cell(point.get(name)) for name in dimension_names]
+                + [_cell(objectives.get(name)) for name in objective_names]
+            )
+        title = "Pareto front (%d of %d evaluated point(s)):" % (
+            len(self.pareto), len(self.evaluations),
+        )
+        return title + "\n" + _table(headers, rows)
+
+    def _format_sensitivity(self) -> str:
+        if not self.sensitivity:
+            return ""
+        headers = ["dimension", "effect"] + [
+            objective.get("name", "?") for objective in self.objectives
+        ] + ["levels"]
+        rows: List[List[str]] = []
+        for row in self.sensitivity:
+            per_objective = row.get("per_objective", {})
+            rows.append(
+                [str(row.get("dimension", "?")), _cell(row.get("effect"))]
+                + [_cell(per_objective.get(header)) for header in headers[2:-1]]
+                + [str(row.get("levels_observed", 0))]
+            )
+        return "sensitivity (normalized main effects):\n" + _table(headers, rows)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return "%.4g" % value
+    if isinstance(value, list):
+        return ":".join(str(item) for item in value)
+    return str(value)
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for position, cell in enumerate(row):
+            widths[position] = max(widths[position], len(cell))
+    lines = [
+        "  " + "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    ]
+    for row in rows:
+        lines.append(
+            "  " + "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def load_explore_report(path: str) -> ExploreReport:
+    """Load a report written by :meth:`ExploreReport.write_json`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return ExploreReport.from_json(handle.read())
+    except OSError as exc:
+        raise ExploreError("cannot read explore report %s: %s" % (path, exc)) from None

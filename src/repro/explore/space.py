@@ -1,0 +1,330 @@
+"""The searchable design space: dimensions derived from experiment parameters.
+
+A :class:`SearchSpace` names the axes an exploration may vary — each a
+:class:`SearchDimension` over one declared parameter of the target
+experiment — plus the fixed overrides applied to every evaluated point.
+Every dimension is a finite, ordered list of *levels*:
+
+* **categorical** dimensions enumerate registry names (NI designs,
+  topologies, arrival processes, ...) or explicit value lists;
+* **numeric** dimensions quantize a ``low:high`` range into ``steps``
+  evenly spaced levels (ints are rounded and deduplicated).
+
+Finiteness is what makes exploration deterministic and cache-friendly: a
+point is a mapping of dimension names to levels, identified by a canonical
+JSON key, so strategies can deduplicate proposals, enumerate the whole
+space in a stable lexicographic order, and map points onto the unit
+hypercube for surrogate modelling — all without floating-point drift.
+
+Spaces compile points into :class:`~repro.campaign.request.RunRequest`
+objects (fixed overrides merged under the point's values), so evaluation
+inherits the campaign layer's content-hash caching and parallel execution.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.campaign.request import RunRequest
+from repro.errors import ExploreError
+from repro.experiments.registry import get_spec
+
+#: Dimension names searched when the caller gives none: the categorical
+#: registry axes shared by the scenario-driven experiments.
+DEFAULT_DIMENSIONS = ("design", "topology", "arrivals")
+
+
+@dataclass(frozen=True)
+class SearchDimension:
+    """One finite, ordered axis of the search space."""
+
+    name: str
+    kind: str  # "categorical" | "int" | "float"
+    levels: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("categorical", "int", "float"):
+            raise ExploreError(
+                "dimension %r has unsupported kind %r (expected categorical, "
+                "int or float)" % (self.name, self.kind)
+            )
+        if len(self.levels) < 2:
+            raise ExploreError(
+                "dimension %r needs at least two levels to search, got %r"
+                % (self.name, list(self.levels))
+            )
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def unit(self, index: int) -> float:
+        """The level index mapped onto [0, 1] (for surrogate features)."""
+        return index / (len(self.levels) - 1)
+
+    def clamp(self, index: int) -> int:
+        return max(0, min(len(self.levels) - 1, index))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "kind": self.kind, "levels": list(self.levels)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SearchDimension":
+        try:
+            return cls(
+                name=str(payload["name"]),
+                kind=str(payload["kind"]),
+                levels=tuple(payload["levels"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ExploreError("malformed search-dimension document: %s" % exc) from None
+
+
+def _numeric_levels(kind: type, low: float, high: float, steps: int) -> Tuple[object, ...]:
+    """``steps`` evenly spaced levels over [low, high] (ints rounded, deduped)."""
+    if steps < 2:
+        raise ExploreError("numeric dimension needs at least 2 steps, got %d" % steps)
+    if not high > low:
+        raise ExploreError(
+            "numeric dimension range must satisfy low < high, got %g:%g" % (low, high)
+        )
+    raw = [low + (high - low) * i / (steps - 1) for i in range(steps)]
+    if kind is int:
+        seen: List[object] = []
+        for value in raw:
+            rounded = int(round(value))
+            if rounded not in seen:
+                seen.append(rounded)
+        return tuple(seen)
+    return tuple(round(value, 10) for value in raw)
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """The searched experiment, its dimensions and the fixed overrides."""
+
+    experiment: str
+    dimensions: Tuple[SearchDimension, ...]
+    fixed: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.dimensions:
+            raise ExploreError("search space needs at least one dimension")
+        spec = get_spec(self.experiment)
+        seen = set()
+        for dimension in self.dimensions:
+            if dimension.name in seen:
+                raise ExploreError(
+                    "search space declares dimension %r twice" % dimension.name
+                )
+            seen.add(dimension.name)
+            parameter = spec.parameter(dimension.name)  # raises on unknown names
+            for level in dimension.levels:
+                parameter.validate(level)
+            if dimension.name in self.fixed:
+                raise ExploreError(
+                    "parameter %r is both a search dimension and a fixed override"
+                    % dimension.name
+                )
+        object.__setattr__(self, "fixed", dict(self.fixed))
+        spec.resolve(self.fixed)  # validate the fixed overrides too
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Total number of distinct points."""
+        total = 1
+        for dimension in self.dimensions:
+            total *= len(dimension)
+        return total
+
+    def dimension(self, name: str) -> SearchDimension:
+        for dimension in self.dimensions:
+            if dimension.name == name:
+                return dimension
+        raise ExploreError(
+            "search space has no dimension %r (declared: %s)"
+            % (name, ", ".join(d.name for d in self.dimensions))
+        )
+
+    def point(self, indices: Sequence[int]) -> Dict[str, object]:
+        """The point at the given per-dimension level indices."""
+        if len(indices) != len(self.dimensions):
+            raise ExploreError(
+                "expected %d level indices, got %d" % (len(self.dimensions), len(indices))
+            )
+        return {
+            dimension.name: dimension.levels[dimension.clamp(index)]
+            for dimension, index in zip(self.dimensions, indices)
+        }
+
+    def indices(self, point: Mapping[str, object]) -> Tuple[int, ...]:
+        """The per-dimension level indices of an in-space point."""
+        result = []
+        for dimension in self.dimensions:
+            try:
+                result.append(dimension.levels.index(point[dimension.name]))
+            except (KeyError, ValueError):
+                raise ExploreError(
+                    "point %r is not on dimension %r's levels %r"
+                    % (dict(point), dimension.name, list(dimension.levels))
+                ) from None
+        return tuple(result)
+
+    def unit_coordinates(self, point: Mapping[str, object]) -> List[float]:
+        """The point mapped onto the unit hypercube (surrogate features)."""
+        return [
+            dimension.unit(index)
+            for dimension, index in zip(self.dimensions, self.indices(point))
+        ]
+
+    def enumerate_indices(self) -> Iterator[Tuple[int, ...]]:
+        """Every index tuple in lexicographic (deterministic) order."""
+        counts = [len(dimension) for dimension in self.dimensions]
+        current = [0] * len(counts)
+        while True:
+            yield tuple(current)
+            position = len(counts) - 1
+            while position >= 0:
+                current[position] += 1
+                if current[position] < counts[position]:
+                    break
+                current[position] = 0
+                position -= 1
+            if position < 0:
+                return
+
+    # ------------------------------------------------------------------
+    # Identity / compilation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def point_key(point: Mapping[str, object]) -> str:
+        """Canonical JSON identity of a point (dedup / history keys)."""
+        return json.dumps(dict(point), sort_keys=True, separators=(",", ":"))
+
+    def to_request(self, point: Mapping[str, object]) -> RunRequest:
+        """Compile a point into a cacheable campaign run request."""
+        params = dict(self.fixed)
+        params.update(point)
+        return RunRequest(self.experiment, params)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiment": self.experiment,
+            "dimensions": [dimension.to_dict() for dimension in self.dimensions],
+            "fixed": dict(self.fixed),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SearchSpace":
+        try:
+            return cls(
+                experiment=str(payload["experiment"]),
+                dimensions=tuple(
+                    SearchDimension.from_dict(item) for item in payload["dimensions"]
+                ),
+                fixed=dict(payload.get("fixed", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ExploreError("malformed search-space document: %s" % exc) from None
+
+    def describe(self) -> str:
+        """One line per dimension, e.g. ``design: categorical {edge, split}``."""
+        lines = []
+        for dimension in self.dimensions:
+            lines.append("%s: %s {%s}" % (
+                dimension.name, dimension.kind,
+                ", ".join(str(level) for level in dimension.levels),
+            ))
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI dimension parsing
+# ----------------------------------------------------------------------
+def parse_dimension(experiment: str, assignment: str) -> SearchDimension:
+    """Parse one ``--dim`` assignment into a dimension.
+
+    Two spec forms, both validated against the experiment's declared
+    parameter:
+
+    * ``name=v1,v2,...`` — explicit (categorical) levels, parsed with the
+      parameter's own scalar parser;
+    * ``name=lo:hi[:steps]`` — a quantized numeric range (default 5 steps),
+      only legal for int/float parameters.
+    """
+    name, separator, text = assignment.partition("=")
+    if not separator or not name or not text:
+        raise ExploreError("malformed --dim %r (expected name=v1,v2,... or name=lo:hi[:steps])"
+                           % assignment)
+    spec = get_spec(experiment)
+    parameter = spec.parameter(name)
+    if "," not in text and ":" in text and not parameter.repeated \
+            and parameter.kind in (int, float):
+        parts = text.split(":")
+        if len(parts) not in (2, 3):
+            raise ExploreError(
+                "malformed numeric --dim %r (expected name=lo:hi[:steps])" % assignment
+            )
+        try:
+            low, high = float(parts[0]), float(parts[1])
+            steps = int(parts[2]) if len(parts) == 3 else 5
+        except ValueError:
+            raise ExploreError(
+                "malformed numeric --dim %r (expected name=lo:hi[:steps])" % assignment
+            ) from None
+        kind = "int" if parameter.kind is int else "float"
+        return SearchDimension(name, kind, _numeric_levels(parameter.kind, low, high, steps))
+    # Explicit level lists; ":" joins the values of one repeated-parameter
+    # level (the sweep CLI's convention), e.g. ``loads=2:5,5:20``.
+    parsed = (parameter.parse(item, list_separator=":")
+              for item in text.split(",") if item != "")
+    levels = tuple(list(value) if isinstance(value, tuple) else value for value in parsed)
+    kind = "categorical" if parameter.repeated else \
+        {int: "int", float: "float"}.get(parameter.kind, "categorical")
+    return SearchDimension(name, kind, levels)
+
+
+def default_dimensions(experiment: str) -> Tuple[SearchDimension, ...]:
+    """The registry-backed categorical axes the experiment declares.
+
+    Walks :data:`DEFAULT_DIMENSIONS` and keeps every name the experiment
+    declares as a choice-constrained parameter with at least two legal
+    values — for ``load_sweep``/``chaos_sweep`` that is NI design x chip
+    topology x arrival process, the paper's hand-enumerated sweep axes.
+    """
+    spec = get_spec(experiment)
+    declared = {parameter.name: parameter for parameter in spec.parameters}
+    dimensions = []
+    for name in DEFAULT_DIMENSIONS:
+        parameter = declared.get(name)
+        if parameter is None:
+            continue
+        choices = parameter.choice_values()
+        if choices is None or len(choices) < 2:
+            continue
+        dimensions.append(SearchDimension(name, "categorical", tuple(choices)))
+    if not dimensions:
+        raise ExploreError(
+            "experiment %r declares none of the default search dimensions (%s); "
+            "give explicit --dim axes" % (experiment, ", ".join(DEFAULT_DIMENSIONS))
+        )
+    return tuple(dimensions)
+
+
+def build_space(
+    experiment: str,
+    dim_assignments: Sequence[str] = (),
+    fixed: Optional[Mapping[str, object]] = None,
+) -> SearchSpace:
+    """Build a space from CLI-style ``--dim`` assignments (defaults when empty)."""
+    if dim_assignments:
+        dimensions = tuple(parse_dimension(experiment, item) for item in dim_assignments)
+    else:
+        dimensions = default_dimensions(experiment)
+    return SearchSpace(experiment=experiment, dimensions=dimensions, fixed=fixed or {})

@@ -1,0 +1,445 @@
+"""The built-in search strategies (the ``EXPLORE_STRATEGIES`` registry).
+
+A strategy decides *which point to evaluate next*; everything else —
+compiling points to run requests, caching, parallel execution, Pareto and
+sensitivity bookkeeping — belongs to the engine.  Strategies register
+through :func:`repro.scenario.registry.register_strategy`, the same
+decorator pattern as the other six component axes, so new optimizers plug
+in without touching the engine or the CLI::
+
+    from repro.scenario.registry import register_strategy
+
+    @register_strategy("anneal")
+    class AnnealStrategy(SearchStrategy):
+        ...
+
+The engine drives the conversation in rounds: ``propose(evaluations,
+remaining)`` receives the full evaluation history (in evaluation order) and
+the unspent budget, and returns the next batch of points — an empty batch
+ends the search.  Every built-in draws randomness only from one
+``random.Random`` seeded per (exploration seed, strategy name), and breaks
+every ranking tie deterministically, so a fixed seed reproduces the exact
+evaluation sequence regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import zlib
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import ExploreError
+from repro.explore.objectives import Objective
+from repro.explore.pareto import ParetoEntry, ParetoFront
+from repro.explore.space import SearchSpace
+from repro.explore.surrogate import QuadraticSurrogate
+from repro.scenario.registry import register_strategy
+
+
+def strategy_seed(seed: int, name: str) -> int:
+    """A per-strategy RNG seed derived from the exploration seed.
+
+    Mixing the strategy name in (via crc32 — stable across processes and
+    ``PYTHONHASHSEED``) keeps two strategies run at the same seed from
+    consuming identical random streams.
+    """
+    return (int(seed) * 1000003 + zlib.crc32(name.encode("utf-8"))) & 0xFFFFFFFF
+
+
+class SearchStrategy:
+    """Base class for search strategies.
+
+    Subclasses set :attr:`param_defaults` (their tunables, surfaced by the
+    CLI catalog like workload/arrival/fault parameters) and implement
+    :meth:`propose`.  The base validates and coerces the overrides and owns
+    the seeded RNG.
+    """
+
+    #: Tunable parameters and their defaults (JSON-native scalars).
+    param_defaults: Mapping[str, object] = {}
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        objectives: Sequence[Objective],
+        seed: int,
+        budget: int,
+        **params: object,
+    ) -> None:
+        if budget < 1:
+            raise ExploreError("exploration budget must be >= 1, got %d" % budget)
+        self.space = space
+        self.objectives = tuple(objectives)
+        self.seed = int(seed)
+        self.budget = int(budget)
+        self.params = self._resolve_params(params)
+        self.rng = random.Random(strategy_seed(self.seed, type(self).__name__))
+
+    def _resolve_params(self, overrides: Mapping[str, object]) -> Dict[str, object]:
+        params = dict(self.param_defaults)
+        for name, value in overrides.items():
+            if name not in params:
+                raise ExploreError(
+                    "strategy %s has no parameter %r (declared: %s)"
+                    % (type(self).__name__, name,
+                       ", ".join(sorted(self.param_defaults)) or "none")
+                )
+            default = params[name]
+            if isinstance(default, float) and isinstance(value, int) \
+                    and not isinstance(value, bool):
+                value = float(value)
+            if not isinstance(value, type(default)):
+                raise ExploreError(
+                    "strategy parameter %r expects a %s value, got %r"
+                    % (name, type(default).__name__, value)
+                )
+            params[name] = value
+        return params
+
+    # ------------------------------------------------------------------
+    # The engine-facing protocol
+    # ------------------------------------------------------------------
+    def propose(self, evaluations: Sequence[object], remaining: int) -> List[Dict[str, object]]:
+        """The next batch of points to evaluate ([] ends the search).
+
+        ``evaluations`` is the full history so far (objects with ``point``,
+        ``objectives`` and ``feasible`` attributes, in evaluation order);
+        ``remaining`` is the unspent evaluation budget.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def evaluated_keys(self, evaluations: Sequence[object]) -> Set[str]:
+        return {self.space.point_key(evaluation.point) for evaluation in evaluations}
+
+    def unexplored(self, evaluations: Sequence[object], count: int) -> List[Dict[str, object]]:
+        """Up to ``count`` unevaluated points in stable enumeration order."""
+        seen = self.evaluated_keys(evaluations)
+        batch: List[Dict[str, object]] = []
+        for indices in self.space.enumerate_indices():
+            if len(batch) >= count:
+                break
+            point = self.space.point(indices)
+            key = self.space.point_key(point)
+            if key not in seen:
+                seen.add(key)
+                batch.append(point)
+        return batch
+
+    def scalarize(self, evaluations: Sequence[object]) -> List[Tuple[object, float]]:
+        """Feasible evaluations scored on [0, 1] (mean of normalized objectives).
+
+        Each objective is oriented (larger = better) and min-max normalized
+        over the feasible history; the score is the mean across objectives.
+        Deterministic given the evaluation order.
+        """
+        feasible = [evaluation for evaluation in evaluations if evaluation.feasible]
+        if not feasible:
+            return []
+        spans: Dict[str, Tuple[float, float]] = {}
+        for objective in self.objectives:
+            oriented = [objective.oriented(evaluation.objectives[objective.name])
+                        for evaluation in feasible]
+            spans[objective.name] = (min(oriented), max(oriented))
+        scored = []
+        for evaluation in feasible:
+            total = 0.0
+            for objective in self.objectives:
+                low, high = spans[objective.name]
+                oriented = objective.oriented(evaluation.objectives[objective.name])
+                total += (oriented - low) / (high - low) if high > low else 0.5
+            scored.append((evaluation, total / len(self.objectives)))
+        return scored
+
+
+# ----------------------------------------------------------------------
+# Deterministic sampling helpers
+# ----------------------------------------------------------------------
+def fractional_factorial(
+    space: SearchSpace, budget: int, screen_levels: int = 3
+) -> List[Dict[str, object]]:
+    """A deterministic fractional-factorial screening plan.
+
+    Categorical dimensions contribute every level; numeric dimensions are
+    thinned to ``screen_levels`` evenly spaced levels (low/centre/high by
+    default).  When the resulting factorial still exceeds the budget, an
+    evenly strided subset of its lexicographic enumeration is kept — the
+    classic screening fraction: coverage spread across the whole design,
+    cost capped at ``budget`` runs.
+    """
+    if screen_levels < 2:
+        raise ExploreError("screening needs at least 2 levels per dimension")
+    axes: List[List[int]] = []
+    for dimension in space.dimensions:
+        if dimension.kind == "categorical" or len(dimension) <= screen_levels:
+            axes.append(list(range(len(dimension))))
+        else:
+            picked = sorted({
+                round(i * (len(dimension) - 1) / (screen_levels - 1))
+                for i in range(screen_levels)
+            })
+            axes.append(picked)
+    factorial = list(itertools.product(*axes))
+    if len(factorial) > budget:
+        if budget == 1:
+            positions = [0]
+        else:
+            positions = sorted({
+                round(i * (len(factorial) - 1) / (budget - 1)) for i in range(budget)
+            })
+        factorial = [factorial[position] for position in positions]
+    return [space.point(indices) for indices in factorial]
+
+
+def latin_hypercube(
+    space: SearchSpace, count: int, rng: random.Random
+) -> List[Dict[str, object]]:
+    """A seeded Latin-hypercube sample of ``count`` points.
+
+    Each dimension's ``count`` strata are permuted independently and a
+    uniform draw inside each stratum snaps to the nearest level, so every
+    dimension's levels are covered as evenly as ``count`` allows.  Distinct
+    points are not guaranteed (finite levels may collide); callers dedup.
+    """
+    if count < 1:
+        return []
+    columns: List[List[int]] = []
+    for dimension in space.dimensions:
+        permutation = list(range(count))
+        rng.shuffle(permutation)
+        column = []
+        for stratum in permutation:
+            draw = (stratum + rng.random()) / count
+            column.append(min(len(dimension) - 1, int(draw * len(dimension))))
+        columns.append(column)
+    return [
+        space.point(tuple(column[row] for column in columns))
+        for row in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# grid_screen — fractional-factorial screening
+# ----------------------------------------------------------------------
+@register_strategy("grid_screen")
+class GridScreenStrategy(SearchStrategy):
+    """One-shot fractional-factorial screening of the whole space.
+
+    The classic first pass of a DAVOS-style DSE: every categorical level
+    and ``screen_levels`` quantiles of each numeric range, thinned by even
+    striding to the evaluation budget.  No adaptivity — the plan depends
+    only on the space and the budget, which makes it the reproducible
+    baseline other strategies are judged against.
+    """
+
+    param_defaults: Mapping[str, object] = {"screen_levels": 3}
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)
+        self._done = False
+
+    def propose(self, evaluations: Sequence[object], remaining: int) -> List[Dict[str, object]]:
+        if self._done or remaining < 1:
+            return []
+        self._done = True
+        plan = fractional_factorial(
+            self.space, min(self.budget, remaining),
+            screen_levels=int(self.params["screen_levels"]),
+        )
+        seen = self.evaluated_keys(evaluations)
+        return [point for point in plan if self.space.point_key(point) not in seen]
+
+
+# ----------------------------------------------------------------------
+# random — seeded Latin-hypercube sampling
+# ----------------------------------------------------------------------
+@register_strategy("random")
+class RandomStrategy(SearchStrategy):
+    """Seeded Latin-hypercube sampling until the budget is spent.
+
+    Each round draws a stratified sample the size of the unspent budget;
+    collisions with already-evaluated points are simply dropped (the next
+    round re-covers them), and when the sampler stops finding new points —
+    small spaces exhaust quickly — the round is topped up from the stable
+    enumeration order so the budget is never silently wasted.
+    """
+
+    param_defaults: Mapping[str, object] = {"max_rounds": 8}
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)
+        self._rounds = 0
+
+    def propose(self, evaluations: Sequence[object], remaining: int) -> List[Dict[str, object]]:
+        if remaining < 1 or self._rounds >= int(self.params["max_rounds"]):
+            return []
+        self._rounds += 1
+        seen = self.evaluated_keys(evaluations)
+        batch: List[Dict[str, object]] = []
+        for point in latin_hypercube(self.space, remaining, self.rng):
+            key = self.space.point_key(point)
+            if key not in seen:
+                seen.add(key)
+                batch.append(point)
+        if not batch:
+            # Sampler collided everywhere: the space is (nearly) exhausted.
+            batch = self.unexplored(evaluations, remaining)
+        return batch
+
+
+# ----------------------------------------------------------------------
+# evolve — screening + surrogate-ranked evolutionary refinement
+# ----------------------------------------------------------------------
+@register_strategy("evolve")
+class EvolveStrategy(SearchStrategy):
+    """Factorial screening, then surrogate-ranked evolutionary refinement.
+
+    Round zero spends ``screen_fraction`` of the budget on the same
+    fractional-factorial plan as ``grid_screen`` (main effects need global
+    coverage before refinement makes sense).  Every later round breeds a
+    candidate pool — crossover between Pareto-optimal/high-scalarized
+    parents plus per-dimension mutation — ``pool`` times larger than the
+    points it may actually evaluate, ranks the pool with a cheap quadratic
+    surrogate fitted to the full evaluated history, and submits only the
+    predicted-best.  When breeding stops producing unseen points the round
+    is topped up from the stable enumeration order, so on small spaces the
+    strategy degrades gracefully to exhaustive coverage.
+    """
+
+    param_defaults: Mapping[str, object] = {
+        "screen_fraction": 0.5,
+        "generation": 4,
+        "mutation": 0.3,
+        "pool": 4,
+        "screen_levels": 3,
+        "ridge": 1e-6,
+    }
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)
+        self._screened = False
+
+    def propose(self, evaluations: Sequence[object], remaining: int) -> List[Dict[str, object]]:
+        if remaining < 1:
+            return []
+        if not self._screened:
+            self._screened = True
+            fraction = float(self.params["screen_fraction"])
+            screen_budget = max(2, int(round(self.budget * fraction)))
+            screen_budget = min(screen_budget, remaining)
+            plan = fractional_factorial(
+                self.space, screen_budget,
+                screen_levels=int(self.params["screen_levels"]),
+            )
+            seen = self.evaluated_keys(evaluations)
+            batch = [point for point in plan if self.space.point_key(point) not in seen]
+            if batch:
+                return batch
+            # Everything the screen wanted is already evaluated (warm
+            # restart): fall through to refinement immediately.
+        generation = min(int(self.params["generation"]), remaining)
+        seen = self.evaluated_keys(evaluations)
+        candidates = self._breed(evaluations, generation * int(self.params["pool"]), seen)
+        ranked = self._rank(evaluations, candidates)
+        batch = ranked[:generation]
+        if len(batch) < generation:
+            have = {self.space.point_key(point) for point in batch}
+            for point in self.unexplored(evaluations, generation - len(batch)):
+                if self.space.point_key(point) not in have:
+                    batch.append(point)
+        return batch
+
+    # ------------------------------------------------------------------
+    def _parents(self, evaluations: Sequence[object]) -> List[Mapping[str, object]]:
+        """Breeding pool: the current Pareto set plus top scalarized points."""
+        scored = self.scalarize(evaluations)
+        if not scored:
+            return []
+        front = ParetoFront(self.objectives)
+        for rank, (evaluation, _score) in enumerate(scored):
+            front.offer(ParetoEntry(
+                index=rank, point=evaluation.point, objectives=evaluation.objectives,
+            ))
+        parents = [entry.point for entry in front.entries()]
+        have = {self.space.point_key(point) for point in parents}
+        # Stable sort: score descending, then evaluation order for ties.
+        by_score = sorted(
+            enumerate(scored), key=lambda item: (-item[1][1], item[0])
+        )
+        for _position, (evaluation, _score) in by_score:
+            if len(parents) >= max(4, len(front)):
+                break
+            key = self.space.point_key(evaluation.point)
+            if key not in have:
+                have.add(key)
+                parents.append(evaluation.point)
+        return parents
+
+    def _breed(
+        self,
+        evaluations: Sequence[object],
+        count: int,
+        seen: Set[str],
+    ) -> List[Dict[str, object]]:
+        """Crossover + mutation proposals, deduplicated, unseen only."""
+        parents = self._parents(evaluations)
+        if len(parents) < 2:
+            return [
+                point for point in latin_hypercube(self.space, count, self.rng)
+                if self.space.point_key(point) not in seen
+            ]
+        parent_indices = [self.space.indices(parent) for parent in parents]
+        mutation = float(self.params["mutation"])
+        produced: List[Dict[str, object]] = []
+        produced_keys: Set[str] = set()
+        for _attempt in range(count * 4):
+            if len(produced) >= count:
+                break
+            mother = parent_indices[self.rng.randrange(len(parent_indices))]
+            father = parent_indices[self.rng.randrange(len(parent_indices))]
+            child = [
+                mother[axis] if self.rng.random() < 0.5 else father[axis]
+                for axis in range(len(self.space.dimensions))
+            ]
+            for axis, dimension in enumerate(self.space.dimensions):
+                if self.rng.random() >= mutation:
+                    continue
+                if dimension.kind == "categorical":
+                    child[axis] = self.rng.randrange(len(dimension))
+                else:
+                    # Numeric levels are ordered: mutate by a local step.
+                    child[axis] = dimension.clamp(
+                        child[axis] + self.rng.choice((-2, -1, 1, 2))
+                    )
+            point = self.space.point(tuple(child))
+            key = self.space.point_key(point)
+            if key in seen or key in produced_keys:
+                continue
+            produced_keys.add(key)
+            produced.append(point)
+        return produced
+
+    def _rank(
+        self,
+        evaluations: Sequence[object],
+        candidates: List[Dict[str, object]],
+    ) -> List[Dict[str, object]]:
+        """Candidates ordered best-predicted-first (ties by point key)."""
+        scored = self.scalarize(evaluations)
+        if len(scored) < 2 or len(candidates) < 2:
+            return sorted(candidates, key=self.space.point_key)
+        surrogate = QuadraticSurrogate(ridge=float(self.params["ridge"]))
+        surrogate.fit(
+            [self.space.unit_coordinates(evaluation.point) for evaluation, _ in scored],
+            [score for _, score in scored],
+        )
+        predicted = [
+            (-surrogate.predict(self.space.unit_coordinates(point)),
+             self.space.point_key(point), point)
+            for point in candidates
+        ]
+        predicted.sort(key=lambda item: (item[0], item[1]))
+        return [point for _neg, _key, point in predicted]

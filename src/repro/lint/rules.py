@@ -232,6 +232,7 @@ class RegistryDisciplineRule(LintRule):
         "register_arrival_process": "arrivals",
         "register_fault_model": "faults",
         "register_lint_rule": "lint_rules",
+        "register_strategy": "strategies",
         "experiment": "experiments",
     }
 

@@ -182,7 +182,7 @@ class ComponentRegistry:
 
 
 # ----------------------------------------------------------------------
-# The six component axes
+# The seven component axes
 # ----------------------------------------------------------------------
 #: NI placements: assembly classes building the chip's RGP/RCP/RRPP pipelines
 #: (metadata ``messaging=False`` marks the load/store NUMA baseline).
@@ -208,6 +208,11 @@ FAULT_MODELS = ComponentRegistry("fault model", populate="repro.faults.models")
 #: built-ins live in :mod:`repro.lint.rules`, hence the distinct populate
 #: module.
 LINT_RULES = ComponentRegistry("lint rule", populate="repro.lint.rules")
+#: Design-space search strategies (:class:`repro.explore.strategies
+#: .SearchStrategy` subclasses) the exploration engine asks for the next
+#: batch of scenario points to evaluate; the built-ins live in
+#: :mod:`repro.explore.strategies`, hence the distinct populate module.
+EXPLORE_STRATEGIES = ComponentRegistry("search strategy", populate="repro.explore.strategies")
 
 
 def register_ni_design(name: str, **metadata: object):
@@ -238,3 +243,8 @@ def register_fault_model(name: str, **metadata: object):
 def register_lint_rule(name: str, **metadata: object):
     """Register a lint rule, e.g. ``@register_lint_rule("REP001", title="wall-clock ban")``."""
     return LINT_RULES.register(name, **metadata)
+
+
+def register_strategy(name: str, **metadata: object):
+    """Register a search strategy, e.g. ``@register_strategy("evolve")``."""
+    return EXPLORE_STRATEGIES.register(name, **metadata)
