@@ -29,7 +29,9 @@ from repro.experiments.registry import get_spec
 #: counters (``fault_windows``, ``fault_hits``).
 #: /4 added the design-space ``explore`` benchmark (seeded evolve search
 #: over a tiny load_sweep space) and its evaluation/Pareto counters.
-BASELINE_SCHEMA = "repro-perf-baseline/4"
+#: /5 added the obs-enabled ``packet_injection_obs`` benchmark (live
+#: telemetry probes + JSONL stream on the hot path) and its record counter.
+BASELINE_SCHEMA = "repro-perf-baseline/5"
 
 #: Warm-up and measurement windows (cycles) for bandwidth benchmarks.
 BENCH_WARMUP_CYCLES = 3_000

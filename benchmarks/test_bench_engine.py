@@ -99,6 +99,67 @@ def test_bench_packet_injection():
           % (session.packets_per_s, session.events_per_s, session.packets, session.wall_s))
 
 
+def test_bench_packet_injection_obs(tmp_path):
+    """The ``packet_injection`` mix with live telemetry enabled.
+
+    Identical deterministic all-to-all src/dst/size/class mix, but sampled
+    by the obs subsystem: a session with the ``throughput`` and
+    ``heap_health`` probes streams JSONL to a scratch file, and the sampler
+    fires between injection batches (the batched drain-to-quiescence ``run``
+    calls leave no bounded horizon for self-scheduled ticks).  The baseline
+    row tracks the overhead of observability on the hottest path; CI
+    soft-gates the obs-enabled ``packets_per_s`` at <= 5% below the plain
+    benchmark's via ``tools/check_perf_baseline.py``.
+    """
+    from repro.obs.probes import ProbeContext
+    from repro.obs.sampler import Sampler
+    from repro.obs.session import ObsSession
+    from repro.obs.stream import ObsStream
+
+    config = SystemConfig.paper_defaults()
+    classes = list(MessageClass)
+    stream_path = str(tmp_path / "bench_obs.jsonl")
+    obs = ObsSession(
+        ObsStream.open(stream_path),
+        probes=["throughput", "heap_health"],
+        sample_cycles=200.0,
+    )
+    with perf.session() as session:
+        with obs.activate(run="packet_injection_obs"):
+            sim = Simulator()
+            topology = MeshTopology(8, config.noc)
+            fabric = NocFabric(sim, topology, config.noc)
+            sampler = Sampler(
+                obs, sim, ProbeContext(sim=sim, fabric=fabric), horizon=0.0
+            )
+            for i in range(INJECTED_PACKETS):
+                src = topology.tile_coord(i % 64)
+                dst = topology.tile_coord((i * 7 + 13) % 64)
+                fabric.send(src, dst, 64 * (1 + i % 4), classes[i % len(classes)])
+                if i % 64 == 63:
+                    sim.run()
+                    sampler.sample_now()
+            sim.run()
+            sampler.sample_now()
+    records = obs.stream.records
+    obs.close()
+    assert fabric.packets_delivered == INJECTED_PACKETS
+    assert records > 0 and session.packets_per_s > 0
+    _record("packet_injection_obs", {
+        "packets": session.packets,
+        "events": session.events,
+        "wall_s": session.wall_s,
+        "packets_per_s": session.packets_per_s,
+        "events_per_s": session.events_per_s,
+        "peak_pending_events": session.peak_pending_events,
+        "fused_hops": session.fused_hops,
+        "fast_events": session.fast_events,
+        "obs_records": records,
+    })
+    print("\npacket injection (obs): %.0f packets/s, %d stream records"
+          % (session.packets_per_s, records))
+
+
 def test_bench_packet_injection_fused():
     """Low-load injection: one packet in flight, the regime hop fusion owns.
 

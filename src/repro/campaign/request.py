@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 from repro.errors import ExperimentError
 from repro.experiments.base import ExperimentResult
@@ -112,6 +112,30 @@ def _short(value: object) -> str:
     return str(value)
 
 
-def execute_request(request: RunRequest) -> ExperimentResult:
-    """Module-level entry point so ProcessPoolExecutor workers can pickle it."""
-    return request.execute()
+def execute_request(
+    request: RunRequest, obs_spec: Optional[Mapping[str, object]] = None
+) -> ExperimentResult:
+    """Module-level entry point so ProcessPoolExecutor workers can pickle it.
+
+    ``obs_spec`` (from :meth:`repro.obs.session.ObsSession.worker_spec`)
+    rebuilds the parent's telemetry session inside the worker so probe
+    samples append to the shared stream path; per-line ``O_APPEND`` writes
+    keep concurrent workers from corrupting each other's records.
+    """
+    if obs_spec is None:
+        return request.execute()
+    from repro.obs.session import ObsSession
+
+    try:
+        run_label = request.fingerprint()
+    except Exception:
+        # Malformed requests fail validation inside execute() with the same
+        # error regardless of worker count; don't let fingerprinting (which
+        # also validates) pre-empt that from a different frame.
+        run_label = ""
+    session = ObsSession.from_worker_spec(dict(obs_spec))
+    try:
+        with session.activate(run=run_label):
+            return request.execute()
+    finally:
+        session.close()

@@ -8,6 +8,8 @@ the rest of the campaign.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence
@@ -19,10 +21,35 @@ from repro.errors import ReproError
 from repro.experiments.registry import get_spec
 
 
-def _describe_error(exc: Exception) -> str:
+def _request_fingerprint(request: RunRequest) -> str:
+    """The request's config fingerprint, or a raw-document hash when the
+    request is too malformed to resolve (fingerprinting validates params).
+
+    The fallback is deterministic across processes and worker counts, so
+    stream events and error text stay identical however the entry fails.
+    """
+    try:
+        return request.fingerprint()
+    except Exception:
+        raw = json.dumps(request.to_dict(), sort_keys=True)
+        return "raw-" + hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+
+def _describe_error(exc: Exception, request: Optional[RunRequest] = None) -> str:
+    """Exception text for one entry, tagged with its config fingerprint.
+
+    The fingerprint makes failed grid points identifiable from the stream
+    and report even when many entries share an experiment name; the same
+    wording is used on the inline and pool paths so stream contents do not
+    depend on the worker count.
+    """
     if isinstance(exc, ReproError):
-        return str(exc)
-    return "%s: %s" % (type(exc).__name__, exc)
+        message = str(exc)
+    else:
+        message = "%s: %s" % (type(exc).__name__, exc)
+    if request is not None:
+        message = "%s [config %s]" % (message, _request_fingerprint(request))
+    return message
 
 
 class Campaign:
@@ -38,14 +65,24 @@ class Campaign:
         requests: Sequence[RunRequest],
         cache: Optional[ResultCache] = None,
         max_workers: int = 1,
+        obs: Optional[object] = None,
     ) -> None:
         if max_workers < 1:
             raise ReproError("campaign max_workers must be >= 1")
         self.requests = list(requests)
         self.cache = cache
         self.max_workers = max_workers
+        #: Active :class:`repro.obs.session.ObsSession` (or ``None``): when
+        #: set, per-entry progress events and per-run probe samples flow to
+        #: its stream; pool workers rebuild the session from its
+        #: ``worker_spec()`` and append to the same path.
+        self.obs = obs
         for request in self.requests:
             get_spec(request.experiment)  # fail fast on unknown experiments
+
+    def _emit(self, event: str, **fields: object) -> None:
+        if self.obs is not None:
+            self.obs.emit(event, **fields)
 
     def run(self) -> CampaignReport:
         """Execute every request and aggregate the outcomes."""
@@ -59,6 +96,12 @@ class Campaign:
             if cached is not None:
                 entry.result = cached
                 entry.cached = True
+                self._emit(
+                    "entry_cached",
+                    index=position,
+                    entry=entry.request.label(),
+                    fingerprint=_request_fingerprint(entry.request),
+                )
             else:
                 pending.append(position)
         if pending:
@@ -79,30 +122,62 @@ class Campaign:
     def _run_inline(self, entries: List[CampaignEntry], pending: Sequence[int]) -> None:
         for position in pending:
             entry = entries[position]
+            fingerprint = _request_fingerprint(entry.request)
+            self._emit(
+                "entry_started",
+                index=position,
+                entry=entry.request.label(),
+                fingerprint=fingerprint,
+            )
             run_started = time.perf_counter()
             try:
-                entry.result = entry.request.execute()
+                if self.obs is not None:
+                    with self.obs.activate(run=fingerprint):
+                        entry.result = entry.request.execute()
+                else:
+                    entry.result = entry.request.execute()
             except Exception as exc:  # capture per entry; see module docstring
-                entry.error = _describe_error(exc)
+                entry.error = _describe_error(exc, entry.request)
             entry.wall_time_s = time.perf_counter() - run_started
-
+            self._emit(
+                "entry_finished",
+                index=position,
+                fingerprint=fingerprint,
+                ok=entry.ok,
+                error=entry.error or "",
+            )
 
     def _run_pool(self, entries: List[CampaignEntry], pending: Sequence[int]) -> None:
         workers = min(self.max_workers, len(pending))
+        obs_spec = self.obs.worker_spec() if self.obs is not None else None
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures: Dict[int, object] = {
-                position: pool.submit(execute_request, entries[position].request)
-                for position in pending
-            }
+            futures: Dict[int, object] = {}
+            for position in pending:
+                self._emit(
+                    "entry_started",
+                    index=position,
+                    entry=entries[position].request.label(),
+                    fingerprint=_request_fingerprint(entries[position].request),
+                )
+                futures[position] = pool.submit(
+                    execute_request, entries[position].request, obs_spec
+                )
             for position, future in futures.items():
                 entry = entries[position]
                 run_started = time.perf_counter()
                 try:
                     entry.result = future.result()
                 except Exception as exc:  # includes BrokenProcessPool etc.
-                    entry.error = _describe_error(exc)
+                    entry.error = _describe_error(exc, entry.request)
                 if entry.result is not None:
                     # The worker measured the real run time; keep its stamp.
                     entry.wall_time_s = entry.result.metadata.wall_time_s
                 else:
                     entry.wall_time_s = time.perf_counter() - run_started
+                self._emit(
+                    "entry_finished",
+                    index=position,
+                    fingerprint=_request_fingerprint(entry.request),
+                    ok=entry.ok,
+                    error=entry.error or "",
+                )

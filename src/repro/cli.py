@@ -38,6 +38,15 @@ default)::
     repro-experiments lint src/repro --rules REP001,REP005 --json -
     repro-experiments lint src/repro --baseline tools/lint_baseline.json
 
+``watch`` tails a ``repro-obs-stream/1`` telemetry stream written by
+``run``/``sweep``/``explore --stream PATH`` (per-run probe samples plus
+campaign progress events; see :mod:`repro.obs`) and renders a summary::
+
+    repro-experiments run load_sweep --stream obs.jsonl
+    repro-experiments watch obs.jsonl
+    repro-experiments watch obs.jsonl --follow      # live tail
+    repro-experiments watch obs.jsonl --check       # validate every record
+
 The seed interface (``repro-experiments table1 fig5``, ``--list``,
 ``--fast``) is still accepted and mapped onto the subcommands.
 """
@@ -56,7 +65,7 @@ from repro.experiments.registry import get_spec, iter_specs, list_experiments
 from repro.experiments.runner import fast_experiments
 from repro.version import PAPER_TITLE, PAPER_VENUE, __version__
 
-_SUBCOMMANDS = ("run", "list", "sweep", "explore", "report", "lint")
+_SUBCOMMANDS = ("run", "list", "sweep", "explore", "report", "lint", "watch")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,6 +96,8 @@ def build_parser() -> argparse.ArgumentParser:
                              help="list only the registered lint rules")
     list_parser.add_argument("--strategies", action="store_true",
                              help="list only the registered search strategies")
+    list_parser.add_argument("--probes", action="store_true",
+                             help="list only the registered telemetry probes")
 
     run_parser = subparsers.add_parser("run", help="run experiments once each")
     run_parser.add_argument("experiments", nargs="*",
@@ -141,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="emit the explore report as JSON (to PATH, or stdout)")
     explore_parser.add_argument("--output", metavar="PATH", default=None,
                                 help="also write the plain-text report to PATH")
+    _add_stream_options(explore_parser)
 
     lint_parser = subparsers.add_parser(
         "lint", help="statically check the determinism & kernel contracts (REP rules)")
@@ -161,6 +173,18 @@ def build_parser() -> argparse.ArgumentParser:
                                   "discovered by walking up from the linted root)")
     lint_parser.add_argument("--json", nargs="?", const="-", metavar="PATH", default=None,
                              help="emit the lint report as JSON (to PATH, or stdout)")
+
+    watch_parser = subparsers.add_parser(
+        "watch", help="tail a telemetry stream written with --stream and render a summary")
+    watch_parser.add_argument("path", metavar="PATH",
+                              help="stream file (JSONL, repro-obs-stream/1)")
+    watch_parser.add_argument("--follow", action="store_true",
+                              help="keep tailing and re-render as records arrive")
+    watch_parser.add_argument("--check", action="store_true",
+                              help="validate every record against the stream schema; "
+                                   "exit 1 on any invalid record")
+    watch_parser.add_argument("--interval-s", type=float, default=1.0, metavar="S",
+                              help="re-render interval with --follow (default: 1.0)")
 
     report_parser = subparsers.add_parser(
         "report", help="re-render a previously saved JSON campaign report")
@@ -187,6 +211,19 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
                         help="emit the campaign results as merged CSV (to PATH, or stdout)")
     parser.add_argument("--output", metavar="PATH", default=None,
                         help="also write the plain-text report to PATH")
+    _add_stream_options(parser)
+
+
+def _add_stream_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--stream", metavar="PATH", default=None,
+                        help="stream live telemetry (repro-obs-stream/1 JSONL) to "
+                             "PATH (a file or FIFO); see 'watch'")
+    parser.add_argument("--probes", metavar="NAMES", default=None,
+                        help="comma-separated probe subset for --stream "
+                             "(default: every registered probe; see 'list --probes')")
+    parser.add_argument("--sample-cycles", type=float, default=None, metavar="CYCLES",
+                        help="sim-time cadence between probe samples "
+                             "(default: 500 cycles)")
 
 
 def _normalize_legacy(argv: List[str]) -> List[str]:
@@ -216,6 +253,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_explore(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "watch":
+            return _cmd_watch(args)
         return _cmd_report(args)
     except (ReproError, OSError) as exc:
         print("repro-experiments: error: %s" % exc, file=sys.stderr)
@@ -233,6 +272,7 @@ def _registry_catalog() -> Dict[str, List[Dict[str, object]]]:
         FAULT_MODELS,
         LINT_RULES,
         NI_DESIGNS,
+        PROBES,
         TOPOLOGIES,
         WORKLOADS,
     )
@@ -281,7 +321,8 @@ def _registry_catalog() -> Dict[str, List[Dict[str, object]]]:
     return {"designs": designs, "topologies": topologies,
             "workloads": parameterized(WORKLOADS), "arrivals": parameterized(ARRIVALS),
             "faults": parameterized(FAULT_MODELS), "lint_rules": lint_rules,
-            "strategies": parameterized(EXPLORE_STRATEGIES)}
+            "strategies": parameterized(EXPLORE_STRATEGIES),
+            "probes": parameterized(PROBES)}
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -323,6 +364,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         ("Fault models", "faults", args.faults),
         ("Lint rules", "lint_rules", args.lint_rules),
         ("Search strategies", "strategies", args.strategies),
+        ("Telemetry probes", "probes", args.probes),
     ]
     only_registries = any(flag for _, _, flag in selected)
     if not only_registries:
@@ -404,18 +446,24 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     objectives = [name.strip() for name in args.objectives.split(",") if name.strip()]
     space = build_space(args.experiment, args.dims, fixed)
     cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
-    explorer = Explorer(
-        space,
-        strategy=args.strategy,
-        objectives=objectives,
-        seed=args.seed,
-        budget=args.budget,
-        strategy_params=strategy_params,
-        cache=cache,
-        max_workers=args.parallel,
-        max_rounds=args.max_rounds,
-    )
-    report = explorer.run()
+    obs = _build_obs(args)
+    try:
+        explorer = Explorer(
+            space,
+            strategy=args.strategy,
+            objectives=objectives,
+            seed=args.seed,
+            budget=args.budget,
+            strategy_params=strategy_params,
+            cache=cache,
+            max_workers=args.parallel,
+            max_rounds=args.max_rounds,
+            obs=obs,
+        )
+        report = explorer.run()
+    finally:
+        if obs is not None:
+            obs.close()
     if args.json is not None:
         _emit(report.to_json(), args.json)
     else:
@@ -492,8 +540,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 def _execute(requests: List[RunRequest], args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
-    campaign = Campaign(requests, cache=cache, max_workers=args.parallel)
-    report = campaign.run()
+    obs = _build_obs(args)
+    try:
+        campaign = Campaign(requests, cache=cache, max_workers=args.parallel, obs=obs)
+        report = campaign.run()
+    finally:
+        if obs is not None:
+            obs.close()
     wrote = False
     if args.json is not None:
         _emit(report.to_json(), args.json)
@@ -514,6 +567,34 @@ def _execute(requests: List[RunRequest], args: argparse.Namespace) -> int:
                       file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.obs.watch import watch_command
+
+    return watch_command(
+        args.path, follow=args.follow, check=args.check, interval_s=args.interval_s
+    )
+
+
+def _build_obs(args: argparse.Namespace):
+    """Build the ObsSession selected by --stream/--probes/--sample-cycles."""
+    stream_path = getattr(args, "stream", None)
+    if stream_path is None:
+        if getattr(args, "probes", None) or getattr(args, "sample_cycles", None):
+            raise ExperimentError("--probes/--sample-cycles require --stream PATH")
+        return None
+    from repro.obs.session import ObsSession
+    from repro.obs.stream import ObsStream
+
+    probe_names = None
+    if args.probes:
+        probe_names = [name.strip() for name in args.probes.split(",") if name.strip()]
+    return ObsSession(
+        ObsStream.open(stream_path),
+        probes=probe_names,
+        sample_cycles=args.sample_cycles,
+    )
 
 
 def _emit(text: str, destination: str) -> None:

@@ -74,3 +74,7 @@ class LintError(ReproError):
 
 class ExploreError(ReproError):
     """A design-space exploration was misconfigured (bad space, objective or strategy)."""
+
+
+class ObsError(ReproError):
+    """The observability layer was misconfigured (bad probe, stream or record)."""

@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, TYP
 
 from repro.config import SystemConfig
 from repro.errors import ExperimentError
+from repro.obs import hooks as obs_hooks
 from repro.sim import perf as sim_perf
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (base imports nothing from here)
@@ -222,6 +223,12 @@ class ExperimentSpec:
     def run(self, config: Optional[SystemConfig] = None, **overrides: object) -> "ExperimentResult":
         """Run the experiment with validated parameters and stamp metadata."""
         params = self.resolve(overrides)
+        obs = obs_hooks.active()
+        if obs is not None and not obs.run_label:
+            # Campaigns stamp the run label with the entry's config
+            # fingerprint before executing; standalone spec runs under an
+            # active session fall back to the spec name.
+            obs.set_run(self.name)
         started = time.perf_counter()
         with sim_perf.session() as perf_session:
             result = self.runner(config=config, **params)

@@ -79,6 +79,7 @@ class Explorer:
         cache: Optional[ResultCache] = None,
         max_workers: int = 1,
         max_rounds: int = 64,
+        obs: Optional[object] = None,
     ) -> None:
         if max_rounds < 1:
             raise ExploreError("exploration max_rounds must be >= 1")
@@ -97,6 +98,11 @@ class Explorer:
         self.cache = cache
         self.max_workers = int(max_workers)
         self.max_rounds = int(max_rounds)
+        #: Active :class:`repro.obs.session.ObsSession` (or ``None``):
+        #: threaded through each round's campaign and used to stream
+        #: ``explore_round`` / ``explore_point`` progress events with
+        #: rolling objective values.
+        self.obs = obs
         self.strategy_params = dict(strategy_params or {})
         strategy_cls = EXPLORE_STRATEGIES.get(strategy)
         if not (isinstance(strategy_cls, type) and issubclass(strategy_cls, SearchStrategy)):
@@ -127,6 +133,8 @@ class Explorer:
                 "proposed": len(proposals),
                 "evaluated": len(batch),
             })
+            if self.obs is not None:
+                self.obs.emit("explore_round", **rounds[-1])
             self._evaluate(batch, evaluations)
         return self._report(evaluations, rounds)
 
@@ -154,7 +162,7 @@ class Explorer:
     ) -> None:
         requests = [self.space.to_request(point) for point in batch]
         report = Campaign(
-            requests, cache=self.cache, max_workers=self.max_workers
+            requests, cache=self.cache, max_workers=self.max_workers, obs=self.obs
         ).run()
         for point, entry in zip(batch, report.entries):
             if entry.ok:
@@ -169,6 +177,16 @@ class Explorer:
                 error=entry.error,
                 objectives=values,
             ))
+            if self.obs is not None:
+                evaluation = evaluations[-1]
+                self.obs.emit(
+                    "explore_point",
+                    index=evaluation.index,
+                    fingerprint=evaluation.fingerprint,
+                    point=dict(evaluation.point),
+                    objectives=dict(evaluation.objectives),
+                    feasible=evaluation.feasible,
+                )
 
     # ------------------------------------------------------------------
     def _report(

@@ -28,7 +28,7 @@ DEFAULT_MANIFEST = os.path.join("tests", "data", "registry_manifest.json")
 
 #: Manifest inventory keys, in reporting order.
 INVENTORY_KEYS = ("designs", "topologies", "workloads", "arrivals", "faults",
-                  "lint_rules", "strategies", "experiments")
+                  "lint_rules", "strategies", "probes", "experiments")
 
 
 def load_manifest(path: str) -> Dict[str, List[str]]:

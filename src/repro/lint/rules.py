@@ -1,4 +1,4 @@
-"""The built-in determinism & kernel-contract lint rules (REP001–REP007).
+"""The built-in determinism & kernel-contract lint rules (REP001–REP008).
 
 Each rule is a :class:`LintRule` subclass registered under its code through
 :func:`repro.scenario.registry.register_lint_rule` — the same decorator
@@ -13,7 +13,8 @@ all randomness is seeded, simulation paths never read wall clocks, iteration
 in the kernel is deterministically ordered, components register through the
 manifest-gated registries, ``schedule_fast`` events are never cancelled,
 ``__slots__`` classes stay dict-free, and spec documents only serialize
-optional registry keys when they are set (fingerprint stability).
+optional registry keys when they are set (fingerprint stability), and
+telemetry probes observe the simulation without mutating it.
 """
 
 from __future__ import annotations
@@ -233,6 +234,7 @@ class RegistryDisciplineRule(LintRule):
         "register_fault_model": "faults",
         "register_lint_rule": "lint_rules",
         "register_strategy": "strategies",
+        "register_probe": "probes",
         "experiment": "experiments",
     }
 
@@ -610,3 +612,75 @@ class SerializationHygieneRule(LintRule):
                         "it only when the field is set, or every pre-existing "
                         "fingerprint changes" % key,
                     )
+
+
+@register_lint_rule("REP008", title="probe contract")
+class ProbeContractRule(LintRule):
+    """Telemetry probes observe the simulation; they never mutate it.
+
+    A probe registered through ``@register_probe`` runs inside the event
+    loop of the very simulation it reports on: an attribute write on any
+    sampled object — the simulator, driver, fabric, fault state, anything
+    reached through the :class:`~repro.obs.probes.ProbeContext` — silently
+    perturbs the run it is supposed to be observing and breaks the
+    obs-disabled byte-identity contract.  Assignments rooted at ``self``
+    (probe-local state such as last-sample counters) are the only writes a
+    probe may perform.  Probes must also declare ``__slots__`` so per-tick
+    sampling never allocates a per-instance ``__dict__``.
+    """
+
+    code = "REP008"
+    title = "probe contract"
+
+    @staticmethod
+    def _is_probe(node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            if not isinstance(decorator, ast.Call):
+                continue
+            func = decorator.func
+            if isinstance(func, ast.Name) and func.id == "register_probe":
+                return True
+            if isinstance(func, ast.Attribute) and func.attr == "register_probe":
+                return True
+        return False
+
+    @staticmethod
+    def _rooted_at_self(target: ast.Attribute) -> bool:
+        """Whether the write lands directly on ``self`` (``self.x = ...``).
+
+        A chained write like ``self.driver.x = ...`` mutates a sampled
+        object *through* probe state and is still a violation, so only a
+        bare ``self.<attr>`` target qualifies.
+        """
+        return isinstance(target.value, ast.Name) and target.value.id == "self"
+
+    def check(self, module: LintModule, context: LintContext) -> Iterator[Finding]:
+        for node in module.of_type(ast.ClassDef):
+            if not self._is_probe(node):
+                continue
+            if SlotsIntegrityRule._declared_slots(node) is None:
+                yield self.finding(
+                    module, node,
+                    "probe class %s declares no __slots__; probes are "
+                    "instantiated per session and sampled per tick — declare "
+                    "__slots__ (use () for stateless probes)" % node.name,
+                )
+            for sub in ast.walk(node):
+                targets: List[ast.AST] = []
+                if isinstance(sub, ast.Assign):
+                    targets = list(sub.targets)
+                elif isinstance(sub, ast.AugAssign):
+                    targets = [sub.target]
+                elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                    targets = [sub.target]
+                elif isinstance(sub, ast.Delete):
+                    targets = list(sub.targets)
+                for target in targets:
+                    if isinstance(target, ast.Attribute) \
+                            and not self._rooted_at_self(target):
+                        yield self.finding(
+                            module, sub,
+                            "probe %s writes attribute %r on a sampled "
+                            "object; probes must be read-only outside self"
+                            % (node.name, ast.unparse(target)),
+                        )

@@ -33,6 +33,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 from repro.errors import WorkloadError
 from repro.load.arrivals import ArrivalProcess
+from repro.obs import hooks as obs_hooks
 from repro.scenario.registry import ARRIVALS, FAULT_MODELS
 from repro.sim.stats import LatencyHistogram, StatAccumulator
 
@@ -420,6 +421,14 @@ class OpenLoopDriver:
             self._injector = None
             self._fault_state = None
             self._window_tails = None
+        obs = obs_hooks.active()
+        if obs is not None:
+            # Probes sample at the session's cadence over the known run
+            # horizon (warm-up + measurement); lazily imported so runs with
+            # observability disabled never touch the obs machinery.
+            from repro.obs.sampler import attach_driver_sampler
+
+            attach_driver_sampler(obs, self)
         for state in self._states:
             for core in state.cores:
                 core.use_exact_latency()

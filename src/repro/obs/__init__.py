@@ -1,0 +1,42 @@
+"""repro.obs: live telemetry for long-running simulations.
+
+The observability subsystem — the eighth component registry — samples
+registered **telemetry probes** (``@register_probe``) at a sim-time cadence
+and streams schema'd JSONL records (``repro-obs-stream/1``) to a file or
+FIFO, alongside campaign progress events (entry started/cached/finished) and
+rolling objective values during design-space exploration.  The
+``repro-experiments watch`` subcommand tails a stream and renders a live
+summary.
+
+The contract mirrors every prior subsystem's: **obs disabled ⇒ byte-identical
+figures and fingerprints** (the kernel hook is one truthiness check in
+:mod:`repro.obs.hooks`); **obs enabled ⇒ deterministic stream contents**
+(modulo writer interleaving) for a fixed seed — records carry sim time only,
+never wall clocks.
+
+This package root stays import-light because ``repro.sim.engine`` imports
+:mod:`repro.obs.hooks`; sessions, probes, samplers, and the watch renderer
+are imported lazily where used.
+"""
+
+from __future__ import annotations
+
+from repro.obs.hooks import active
+from repro.obs.stream import STREAM_SCHEMA, ObsStream, read_stream, validate_record
+
+__all__ = [
+    "STREAM_SCHEMA",
+    "ObsSession",
+    "ObsStream",
+    "active",
+    "read_stream",
+    "validate_record",
+]
+
+
+def __getattr__(name: str):
+    if name == "ObsSession":
+        from repro.obs.session import ObsSession
+
+        return ObsSession
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

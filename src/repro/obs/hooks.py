@@ -1,0 +1,46 @@
+"""Process-local observability hooks.
+
+The obs analogue of :mod:`repro.sim.perf`'s session stack: the simulation
+kernel calls :func:`register_simulator` from every ``Simulator.__init__``, so
+this module must import nothing and cost a single truthiness check when no
+session is open.  The heavyweight pieces (probes, streams, samplers) live in
+their own modules and are only imported once a session is actually active.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+#: Innermost-last stack of active :class:`repro.obs.session.ObsSession`
+#: objects for this process.  Plain module state (not thread-local): the
+#: simulator itself is single-threaded, and campaign workers are separate
+#: processes that each open their own session.
+_ACTIVE: List[Any] = []
+
+
+def active() -> Optional[Any]:
+    """The innermost active session, or ``None`` when obs is disabled."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+def push(session: Any) -> None:
+    """Activate *session* (innermost wins); pair with :func:`pop`."""
+    _ACTIVE.append(session)
+
+
+def pop(session: Any) -> None:
+    """Deactivate *session* (tolerates out-of-order exits)."""
+    if session in _ACTIVE:
+        _ACTIVE.remove(session)
+
+
+def register_simulator(sim: Any) -> Optional[int]:
+    """Hand *sim* its deterministic per-session index (``None`` when idle).
+
+    Indices restart at zero whenever the session's run label changes, so the
+    n-th simulator built by a given experiment run always reports the same
+    ``sim`` field in its stream records regardless of what ran before it.
+    """
+    if not _ACTIVE:
+        return None
+    return _ACTIVE[-1].register_simulator(sim)

@@ -1,0 +1,184 @@
+"""Render a ``repro-obs-stream/1`` stream as a terminal summary.
+
+Backs the ``repro-experiments watch`` subcommand: reads (or, with
+``--follow``, tails) a stream file, folds records into a
+:class:`WatchState`, and renders per-entry status, rolling p99, and sim-time
+throughput rates.  Deliberately wall-clock free on the data path — every
+number shown is derived from sim time (``t``) or record counts; the only use
+of the host clock is the ``--follow`` poll sleep, which never touches the
+rendered values.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Dict, IO, List, Optional
+
+from repro.obs.stream import validate_record
+
+
+class WatchState:
+    """Accumulates stream records into a renderable summary."""
+
+    __slots__ = ("entries", "runs", "explore", "records", "invalid")
+
+    def __init__(self) -> None:
+        #: Campaign entries by index: label, fingerprint, status, error.
+        self.entries: Dict[int, Dict[str, Any]] = {}
+        #: Per-run rollups keyed by run label (config fingerprint).
+        self.runs: Dict[str, Dict[str, Any]] = {}
+        #: Exploration progress counters.
+        self.explore: Dict[str, int] = {"rounds": 0, "points": 0}
+        self.records = 0
+        self.invalid: List[str] = []
+
+    def feed_line(self, line: str, check: bool = False) -> None:
+        """Parse and fold one stream line; record problems in ``invalid``."""
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            self.invalid.append("invalid JSON: %s" % exc)
+            return
+        if check:
+            problems = validate_record(record)
+            if problems:
+                self.invalid.extend(problems)
+                return
+        self.feed(record)
+
+    def feed(self, record: Dict[str, Any]) -> None:
+        self.records += 1
+        event = record.get("event")
+        if event in ("entry_started", "entry_cached"):
+            entry = self.entries.setdefault(int(record.get("index", -1)), {})
+            entry["label"] = record.get("entry", "")
+            entry["fingerprint"] = record.get("fingerprint", "")
+            entry["status"] = "cached" if event == "entry_cached" else "running"
+        elif event == "entry_finished":
+            entry = self.entries.setdefault(int(record.get("index", -1)), {})
+            entry.setdefault("fingerprint", record.get("fingerprint", ""))
+            entry["status"] = "ok" if record.get("ok") else "failed"
+            if record.get("error"):
+                entry["error"] = record["error"]
+        elif event == "sample":
+            self._feed_sample(record)
+        elif event == "explore_round":
+            self.explore["rounds"] += 1
+        elif event == "explore_point":
+            self.explore["points"] += 1
+
+    def _feed_sample(self, record: Dict[str, Any]) -> None:
+        run = self.runs.setdefault(
+            str(record.get("run", "")),
+            {
+                "samples": 0,
+                "t": 0.0,
+                "p99": None,
+                "events": 0,
+                "packets": 0,
+                "pk_per_kcycle": None,
+                "queued": None,
+                "_last_throughput": None,
+            },
+        )
+        run["samples"] += 1
+        t = record.get("t", 0.0)
+        if isinstance(t, (int, float)) and t > run["t"]:
+            run["t"] = float(t)
+        probe = record.get("probe")
+        data = record.get("data") or {}
+        if probe == "rolling_tails":
+            run["p99"] = data.get("p99")
+        elif probe == "throughput":
+            run["events"] = data.get("events", 0)
+            packets = data.get("packets", 0)
+            run["packets"] = packets
+            last = run["_last_throughput"]
+            if last is not None and isinstance(t, (int, float)) and t > last[0]:
+                run["pk_per_kcycle"] = (packets - last[1]) / (t - last[0]) * 1000.0
+            if isinstance(t, (int, float)):
+                run["_last_throughput"] = (t, packets)
+        elif probe == "queue_depth":
+            run["queued"] = data.get("queued")
+
+
+def _format_value(value: Any, fmt: str = "%.1f") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return fmt % value
+    return str(value)
+
+
+def render(state: WatchState) -> str:
+    """Multi-line text summary of everything fed so far."""
+    lines = ["repro-obs-stream/1: %d record(s)" % state.records]
+    if state.entries:
+        lines.append("entries:")
+        for index in sorted(state.entries):
+            entry = state.entries[index]
+            line = "  [%d] %-7s %s %s" % (
+                index,
+                entry.get("status", "?"),
+                entry.get("fingerprint", ""),
+                entry.get("label", ""),
+            )
+            lines.append(line.rstrip())
+            if entry.get("error"):
+                lines.append("      error: %s" % entry["error"])
+    if state.runs:
+        lines.append("runs:")
+        for label in sorted(state.runs):
+            run = state.runs[label]
+            lines.append(
+                "  %s t=%s samples=%d p99=%s pk/kcycle=%s queued=%s"
+                % (
+                    label or "(unlabelled)",
+                    _format_value(run["t"], "%.0f"),
+                    run["samples"],
+                    _format_value(run["p99"]),
+                    _format_value(run["pk_per_kcycle"]),
+                    _format_value(run["queued"], "%d"),
+                )
+            )
+    if state.explore["rounds"] or state.explore["points"]:
+        lines.append(
+            "explore: %d round(s), %d point(s) evaluated"
+            % (state.explore["rounds"], state.explore["points"])
+        )
+    if state.invalid:
+        lines.append("INVALID records: %d" % len(state.invalid))
+        for problem in state.invalid[:10]:
+            lines.append("  - %s" % problem)
+    return "\n".join(lines)
+
+
+def watch_command(
+    path: str,
+    follow: bool = False,
+    check: bool = False,
+    interval_s: float = 1.0,
+    out: Optional[IO[str]] = None,
+) -> int:
+    """Read (or tail) *path* and print a summary; exit 1 on invalid records."""
+    destination = sys.stdout if out is None else out
+    state = WatchState()
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            while True:
+                line = handle.readline()
+                if line:
+                    if line.strip():
+                        state.feed_line(line, check=check)
+                    continue
+                if not follow:
+                    break
+                destination.write(render(state) + "\n\n")
+                destination.flush()
+                time.sleep(interval_s)
+        except KeyboardInterrupt:
+            pass
+    destination.write(render(state) + "\n")
+    return 1 if state.invalid else 0

@@ -182,7 +182,7 @@ class ComponentRegistry:
 
 
 # ----------------------------------------------------------------------
-# The seven component axes
+# The eight component axes
 # ----------------------------------------------------------------------
 #: NI placements: assembly classes building the chip's RGP/RCP/RRPP pipelines
 #: (metadata ``messaging=False`` marks the load/store NUMA baseline).
@@ -213,6 +213,11 @@ LINT_RULES = ComponentRegistry("lint rule", populate="repro.lint.rules")
 #: batch of scenario points to evaluate; the built-ins live in
 #: :mod:`repro.explore.strategies`, hence the distinct populate module.
 EXPLORE_STRATEGIES = ComponentRegistry("search strategy", populate="repro.explore.strategies")
+#: Telemetry probes (:class:`repro.obs.probes.TelemetryProbe` subclasses) the
+#: observability subsystem samples at a sim-time cadence into the
+#: ``repro-obs-stream/1`` channel; the built-ins live in
+#: :mod:`repro.obs.probes`, hence the distinct populate module.
+PROBES = ComponentRegistry("telemetry probe", populate="repro.obs.probes")
 
 
 def register_ni_design(name: str, **metadata: object):
@@ -248,3 +253,8 @@ def register_lint_rule(name: str, **metadata: object):
 def register_strategy(name: str, **metadata: object):
     """Register a search strategy, e.g. ``@register_strategy("evolve")``."""
     return EXPLORE_STRATEGIES.register(name, **metadata)
+
+
+def register_probe(name: str, **metadata: object):
+    """Register a telemetry probe, e.g. ``@register_probe("rolling_tails")``."""
+    return PROBES.register(name, **metadata)

@@ -30,6 +30,7 @@ import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs import hooks as obs_hooks
 from repro.sim import perf
 
 #: Cancelled events are purged lazily; once at least this many are pending
@@ -98,6 +99,7 @@ class Simulator:
         "_peak_pending",
         "_run_horizon",
         "_perf",
+        "_obs_index",
     )
 
     def __init__(self) -> None:
@@ -117,6 +119,10 @@ class Simulator:
         #: accumulated.
         self._run_horizon = float("inf")
         self._perf = perf.register_simulator(self)
+        #: Deterministic per-run index handed out by the active obs session
+        #: (``None`` when observability is disabled — the common case; the
+        #: hook costs one truthiness check and allocates nothing).
+        self._obs_index = obs_hooks.register_simulator(self)
 
     # ------------------------------------------------------------------
     # Clock and queue introspection
@@ -140,6 +146,11 @@ class Simulator:
     def peak_pending_events(self) -> int:
         """Largest heap size observed so far (memory-pressure indicator)."""
         return self._peak_pending
+
+    @property
+    def cancelled_backlog(self) -> int:
+        """Cancelled events still occupying the heap (compaction pressure)."""
+        return len(self._cancelled_events)
 
     # ------------------------------------------------------------------
     # Scheduling

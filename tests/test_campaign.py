@@ -133,6 +133,41 @@ class TestCampaign:
         failing = [entry for entry in report.entries if not entry.ok]
         assert "scale" in failing[0].error
 
+    def test_failure_error_includes_config_fingerprint(self):
+        # Failed grid points must be identifiable from the report/stream:
+        # the error text carries the entry's config fingerprint (or a raw
+        # request hash when the request is too malformed to resolve).
+        request = RunRequest(
+            "load_sweep",
+            {"measure_cycles": -5.0, "loads": [5.0], "warmup_cycles": 100.0},
+        )
+        report = Campaign([request]).run()
+        failing = [entry for entry in report.entries if not entry.ok]
+        assert len(failing) == 1
+        assert "[config %s]" % request.fingerprint() in failing[0].error
+
+    def test_malformed_failure_gets_raw_fingerprint(self, counting_experiment):
+        report = Campaign([RunRequest("counting-test", {"scale": "x"})]).run()
+        failing = [entry for entry in report.entries if not entry.ok]
+        assert "[config raw-" in failing[0].error
+
+    def test_pool_failure_error_matches_inline(self, counting_experiment):
+        # Same wording on both paths, so stream contents and reports do not
+        # depend on the worker count.
+        requests = [
+            RunRequest("table1", {"hops": 1}),
+            RunRequest(
+                "load_sweep",
+                {"measure_cycles": -5.0, "loads": [5.0], "warmup_cycles": 100.0},
+            ),
+        ]
+        inline = Campaign(requests).run()
+        pooled = Campaign(requests, max_workers=2).run()
+        inline_errors = [entry.error for entry in inline.entries if not entry.ok]
+        pooled_errors = [entry.error for entry in pooled.entries if not entry.ok]
+        assert inline_errors == pooled_errors
+        assert inline_errors and "[config " in inline_errors[0]
+
     def test_parallel_run_over_processes(self):
         requests = expand_grid("table3", {"hops": [1, 2, 3, 4]})
         report = Campaign(requests, max_workers=2).run()

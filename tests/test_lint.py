@@ -60,6 +60,7 @@ class TestLintRegistry:
     def test_builtin_rules_registered(self):
         assert LINT_RULES.names() == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
+            "REP008",
         ]
 
     def test_rules_have_titles_and_doc_urls(self):
@@ -496,6 +497,90 @@ class TestREP007SerializationHygiene:
                 def to_dict(self):
                     return {"arrivals": self.arrivals}
         """}, rules=["REP007"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+class TestREP008ProbeContract:
+    def test_probe_without_slots_flagged(self, tmp_path):
+        findings = run_fixture(tmp_path, {"obs/plug.py": """
+            @register_probe("bad")
+            class BadProbe(TelemetryProbe):
+                name = "bad"
+
+                def sample(self, ctx):
+                    return {"x": 1}
+        """}, rules=["REP008"])
+        assert codes(findings) == ["REP008"]
+        assert "__slots__" in findings[0].message
+
+    def test_probe_mutating_sampled_object_flagged(self, tmp_path):
+        findings = run_fixture(tmp_path, {"obs/plug.py": """
+            @register_probe("bad")
+            class BadProbe(TelemetryProbe):
+                __slots__ = ()
+                name = "bad"
+
+                def sample(self, ctx):
+                    ctx.sim.events = 0
+                    return {"x": ctx.sim.events}
+        """}, rules=["REP008"])
+        assert codes(findings) == ["REP008"]
+        assert "read-only outside self" in findings[0].message
+
+    def test_probe_augmented_write_flagged(self, tmp_path):
+        findings = run_fixture(tmp_path, {"obs/plug.py": """
+            @register_probe("bad")
+            class BadProbe(TelemetryProbe):
+                __slots__ = ()
+                name = "bad"
+
+                def sample(self, ctx):
+                    ctx.driver.hits += 1
+                    return None
+        """}, rules=["REP008"])
+        assert codes(findings) == ["REP008"]
+
+    def test_chained_write_through_self_flagged(self, tmp_path):
+        # self.driver.x mutates a sampled object *through* probe state.
+        findings = run_fixture(tmp_path, {"obs/plug.py": """
+            @register_probe("bad")
+            class BadProbe(TelemetryProbe):
+                __slots__ = ("driver",)
+                name = "bad"
+
+                def sample(self, ctx):
+                    self.driver.window = 0
+                    return None
+        """}, rules=["REP008"])
+        assert codes(findings) == ["REP008"]
+
+    def test_clean_probe_with_self_state(self, tmp_path):
+        # Writes rooted at self (delta counters) are legal probe-local state.
+        findings = run_fixture(tmp_path, {"obs/plug.py": """
+            @register_probe("good")
+            class GoodProbe(TelemetryProbe):
+                __slots__ = ("_last",)
+                name = "good"
+
+                def __init__(self):
+                    self._last = 0
+
+                def sample(self, ctx):
+                    events = ctx.sim.events_executed
+                    delta = events - self._last
+                    self._last = events
+                    return {"events": events, "delta": delta}
+        """}, rules=["REP008"])
+        assert findings == []
+
+    def test_non_probe_class_ignored(self, tmp_path):
+        # Mutation is only a violation inside @register_probe classes.
+        findings = run_fixture(tmp_path, {"obs/plug.py": """
+            class Sampler:
+                def tick(self, ctx):
+                    ctx.sim.flag = True
+        """}, rules=["REP008"])
         assert findings == []
 
 

@@ -9,6 +9,12 @@ a *gated* benchmark's ``events_per_s`` regresses by more than the allowed
 fraction (default 30% — generous enough to absorb runner jitter, tight
 enough to catch a hot path accidentally falling off the fast path).
 
+The job also soft-gates **observability overhead**: within the *fresh*
+document (same machine, same run) the obs-enabled ``packet_injection_obs``
+benchmark's ``packets_per_s`` must stay within ``--max-obs-overhead``
+(default 5%) of the plain ``packet_injection``'s — live telemetry must
+never meaningfully tax the hottest path.
+
 Benchmarks present in only one of the two documents are reported but never
 fail the gate (new benchmarks land before their baseline does), and a
 committed baseline with an older schema downgrades the run to report-only —
@@ -18,7 +24,8 @@ to gate against.
 Usage::
 
     python tools/check_perf_baseline.py --fresh perf_baseline.json \
-        [--committed benchmarks/perf_baseline.json] [--max-regression 0.30]
+        [--committed benchmarks/perf_baseline.json] [--max-regression 0.30] \
+        [--max-obs-overhead 0.05]
 """
 
 from __future__ import annotations
@@ -30,6 +37,9 @@ import sys
 
 #: Benchmarks whose events_per_s regression fails the gate.
 GATED_BENCHMARKS = ("event_kernel", "packet_injection")
+
+#: (plain, obs-enabled) benchmark pair compared for observability overhead.
+OBS_OVERHEAD_PAIR = ("packet_injection", "packet_injection_obs")
 
 DEFAULT_COMMITTED = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), os.pardir,
@@ -53,6 +63,10 @@ def main(argv=None) -> int:
                         help="checked-in reference baseline (default: %(default)s)")
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="allowed fractional events_per_s drop (default 0.30)")
+    parser.add_argument("--max-obs-overhead", type=float, default=0.05,
+                        help="allowed fractional packets_per_s cost of live "
+                             "telemetry vs the plain benchmark, compared "
+                             "within the fresh document (default 0.05)")
     args = parser.parse_args(argv)
 
     fresh = load_document(args.fresh)
@@ -85,9 +99,31 @@ def main(argv=None) -> int:
         print("%-24s %12.0f -> %12.0f events/s (%+6.1f%%) %s"
               % (name, old_rate, new_rate, change * 100.0, verdict))
 
+    plain_name, obs_name = OBS_OVERHEAD_PAIR
+    plain = fresh["benchmarks"].get(plain_name)
+    obs = fresh["benchmarks"].get(obs_name)
+    if plain is None or obs is None:
+        print("%-24s pair incomplete in fresh baseline — obs overhead not gated"
+              % obs_name)
+    else:
+        plain_rate = float(plain.get("packets_per_s", 0.0))
+        obs_rate = float(obs.get("packets_per_s", 0.0))
+        if plain_rate <= 0:
+            print("%-24s plain rate is zero — obs overhead not gated" % obs_name)
+        else:
+            overhead = 1.0 - obs_rate / plain_rate
+            verdict = "ok"
+            if overhead > args.max_obs_overhead:
+                verdict = "OBS OVERHEAD"
+                failures.append("%s (obs overhead %.1f%%)"
+                                % (obs_name, overhead * 100.0))
+            print("%-24s %12.0f vs %12.0f packets/s (obs overhead %+5.1f%%, "
+                  "max %.0f%%) %s"
+                  % (obs_name, plain_rate, obs_rate, overhead * 100.0,
+                     args.max_obs_overhead * 100.0, verdict))
+
     if failures:
-        print("\nperf gate FAILED: %s regressed more than %.0f%% vs the committed "
-              "baseline" % (", ".join(failures), args.max_regression * 100.0))
+        print("\nperf gate FAILED: %s" % ", ".join(failures))
         print("If the slowdown is intentional, regenerate benchmarks/perf_baseline.json "
               "(see README, 'Performance methodology') and commit it with the change.")
         return 1
