@@ -8,6 +8,7 @@ from repro.analysis.breakdown import (
 )
 from repro.analysis.projection import HopProjection, ProjectionPoint
 from repro.analysis.bandwidth_model import BandwidthModel
+from repro.analysis.fault_profile import render_fault_profile
 from repro.analysis.report import format_table
 
 __all__ = [
@@ -18,4 +19,5 @@ __all__ = [
     "ProjectionPoint",
     "BandwidthModel",
     "format_table",
+    "render_fault_profile",
 ]

@@ -12,6 +12,7 @@ import hashlib
 import json
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence
 
 from repro.campaign.cache import ResultCache
@@ -148,36 +149,62 @@ class Campaign:
             )
 
     def _run_pool(self, entries: List[CampaignEntry], pending: Sequence[int]) -> None:
-        workers = min(self.max_workers, len(pending))
         obs_spec = self.obs.worker_spec() if self.obs is not None else None
+        for position in pending:
+            self._emit(
+                "entry_started",
+                index=position,
+                entry=entries[position].request.label(),
+                fingerprint=_request_fingerprint(entries[position].request),
+            )
+        broken = self._pool_round(entries, pending, obs_spec, retrying=False)
+        if broken:
+            # A BrokenProcessPool is a transient worker death (OOM-killed
+            # child, interpreter crash), not a property of the request:
+            # resubmit each stranded entry exactly once on a fresh pool.  A
+            # second death is reported as the entry's error.
+            self._pool_round(entries, broken, obs_spec, retrying=True)
+        for position in pending:
+            entry = entries[position]
+            self._emit(
+                "entry_finished",
+                index=position,
+                fingerprint=_request_fingerprint(entry.request),
+                ok=entry.ok,
+                error=entry.error or "",
+            )
+
+    def _pool_round(self, entries: List[CampaignEntry], pending: Sequence[int],
+                    obs_spec: Optional[object], retrying: bool) -> List[int]:
+        """One executor pass over ``pending``; returns retryable positions."""
+        workers = min(self.max_workers, len(pending))
+        broken: List[int] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures: Dict[int, object] = {}
-            for position in pending:
-                self._emit(
-                    "entry_started",
-                    index=position,
-                    entry=entries[position].request.label(),
-                    fingerprint=_request_fingerprint(entries[position].request),
-                )
-                futures[position] = pool.submit(
-                    execute_request, entries[position].request, obs_spec
-                )
+            futures: Dict[int, object] = {
+                position: pool.submit(execute_request, entries[position].request, obs_spec)
+                for position in pending
+            }
             for position, future in futures.items():
                 entry = entries[position]
                 run_started = time.perf_counter()
                 try:
                     entry.result = future.result()
-                except Exception as exc:  # includes BrokenProcessPool etc.
+                    entry.error = None
+                    if retrying:
+                        entry.result.metadata.warnings.append(
+                            "campaign entry retried once after transient "
+                            "worker death (BrokenProcessPool)"
+                        )
+                except BrokenProcessPool as exc:
+                    # Provisional error text: cleared if the retry succeeds.
+                    entry.error = _describe_error(exc, entry.request)
+                    if not retrying:
+                        broken.append(position)
+                except Exception as exc:
                     entry.error = _describe_error(exc, entry.request)
                 if entry.result is not None:
                     # The worker measured the real run time; keep its stamp.
                     entry.wall_time_s = entry.result.metadata.wall_time_s
                 else:
                     entry.wall_time_s = time.perf_counter() - run_started
-                self._emit(
-                    "entry_finished",
-                    index=position,
-                    fingerprint=_request_fingerprint(entry.request),
-                    ok=entry.ok,
-                    error=entry.error or "",
-                )
+        return broken

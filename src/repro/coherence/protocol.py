@@ -80,6 +80,8 @@ class _Transaction:
     acks_received: int = 0
     data_received: bool = False
     completed: bool = False
+    #: Directory dispatch retries forced by an active coherence fault model.
+    retries: int = 0
 
 
 class CoherenceProtocol:
@@ -104,12 +106,17 @@ class CoherenceProtocol:
         self.fallback_memory_latency_cycles = fallback_memory_latency_cycles
         self._complexes: Dict[Hashable, TileCacheComplex] = {}
         self._txn_ids = itertools.count()
+        #: Fault-state attachment point (set by the FaultInjector; None on
+        #: fault-free runs, which must stay byte-identical).
+        self.faults = None
         # Statistics
         self.local_hits = 0
         self.remote_transactions = 0
         self.invalidations_sent = 0
         self.forwards_sent = 0
         self.local_writeback_roundtrips = 0
+        self.directory_retries = 0
+        self.retry_backoff_cycles = 0.0
 
     # ------------------------------------------------------------------
     # Registration and setup
@@ -276,6 +283,18 @@ class CoherenceProtocol:
         self.sim.schedule_fast(self.llc_latency_cycles, self._directory_act, txn, entry)
 
     def _directory_act(self, txn: _Transaction, entry: DirectoryEntry) -> None:
+        faults = self.faults
+        if faults is not None:
+            # A stale/corrupt directory entry bounces this dispatch: charge
+            # the model's backoff and re-ask.  Models bound their retries,
+            # so the loop terminates even inside a long fault window.
+            backoff = faults.directory_retry(txn.addr, txn.retries)
+            if backoff > 0.0:
+                txn.retries += 1
+                self.directory_retries += 1
+                self.retry_backoff_cycles += backoff
+                self.sim.schedule_fast(backoff, self._directory_act, txn, entry)
+                return
         requester_id = txn.complex.entity_id
         owner = entry.owner if entry.owner != requester_id else None
         sharers = {s for s in entry.sharers if s != requester_id}

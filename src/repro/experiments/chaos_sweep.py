@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.fault_profile import render_fault_profile
 from repro.config import SystemConfig
 from repro.errors import ExperimentError
 from repro.experiments.base import ExperimentResult
@@ -168,6 +169,9 @@ def run_chaos_sweep(
     total_fault_windows = 0
     total_fault_drops = 0
     fault_fingerprint = ""
+    # The fault_profile figure renders the grid's most stressed cell
+    # (highest load x highest intensity) against its baseline's p99.
+    profile_cell: Optional[Tuple[Dict[str, object], float]] = None
 
     def run_point(offered: float, intensity: Optional[float]):
         # A fresh machine per grid cell (from_spec runs MachineBuilder): load
@@ -257,6 +261,8 @@ def run_chaos_sweep(
             )
             if transient is not None:
                 transients[intensity].append(transient)
+            if offered == load_points[-1] and intensity == intensity_points[-1]:
+                profile_cell = (profile, baseline_p99)
             point_ok = meets_slo(point)
             if point_ok:
                 saturation[intensity] = (point.achieved_per_kcycle, offered)
@@ -317,6 +323,28 @@ def run_chaos_sweep(
         "arrival schedule); fault schedule fingerprint %s"
         % (fault_fingerprint or "n/a")
     )
+    if profile_cell is not None:
+        profile, cell_baseline_p99 = profile_cell
+        cascade_doc = profile.get("cascade")
+        result.add_note(
+            "fault_profile: %s intensity %.2f at the highest measured load%s"
+            % (
+                fault_name, intensity_points[-1],
+                " (cascade: %s p=%.2f, %d triggered)" % (
+                    cascade_doc["model"], cascade_doc["probability"],
+                    cascade_doc["triggered"],
+                ) if cascade_doc else "",
+            )
+        )
+        for line in render_fault_profile(
+            profile.get("window_p99", ()),
+            profile.get("windows", ()),
+            float(profile.get("tail_window_cycles", 0.0) or 1.0),
+            baseline_p99=cell_baseline_p99,
+            tolerance=recovery_tolerance,
+            cascade_windows=(cascade_doc or {}).get("windows", ()),
+        ):
+            result.add_note("fault_profile: %s" % line)
     result.metadata.config_fingerprint = fingerprint
     result.metadata.events["load_points"] = len(load_points)
     result.metadata.events["fault_intensities"] = len(intensity_points)

@@ -7,6 +7,11 @@ layer quantifying tail amplification, degraded throughput and recovery
 transients.  See the README's "Injecting faults" section for usage.
 """
 
+from repro.faults.cascade import (
+    CASCADE_PARAM_KEYS,
+    CascadeFaultState,
+    FaultCascade,
+)
 from repro.faults.injector import (
     DEFAULT_INTENSITY,
     FaultInjector,
@@ -14,6 +19,7 @@ from repro.faults.injector import (
     SCHEDULE_PARAM_KEYS,
     build_fault_injector,
     derive_seed,
+    validate_fault_params,
 )
 from repro.faults.metrics import (
     WindowedTails,
@@ -24,7 +30,10 @@ from repro.faults.models import FaultModel
 from repro.faults.schedule import FaultSchedule
 
 __all__ = [
+    "CASCADE_PARAM_KEYS",
+    "CascadeFaultState",
     "DEFAULT_INTENSITY",
+    "FaultCascade",
     "FaultInjector",
     "FaultModel",
     "FaultSchedule",
@@ -35,4 +44,5 @@ __all__ = [
     "derive_seed",
     "recovery_transient_cycles",
     "tail_amplification",
+    "validate_fault_params",
 ]

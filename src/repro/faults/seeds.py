@@ -1,0 +1,17 @@
+"""Seed derivation shared by every seeded fault-engine component.
+
+Model target selection, schedule draws and cascade triggers each consume an
+independent random stream; deriving every stream's seed from the one driver
+seed through :func:`derive_seed` keeps them decorrelated while letting a
+single ``seed`` parameter pin the whole faulted run.  Lint rule REP009
+enforces that fault-model code never feeds ``random.Random`` anything else.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def derive_seed(seed: int, kind: str, name: str) -> int:
+    """A decorrelated per-purpose seed (same recipe as per-tenant seeds)."""
+    return seed * 1_000_003 + zlib.crc32(("%s:%s" % (kind, name)).encode("utf-8"))

@@ -684,3 +684,64 @@ class ProbeContractRule(LintRule):
                             "object; probes must be read-only outside self"
                             % (node.name, ast.unparse(target)),
                         )
+
+
+# ----------------------------------------------------------------------
+# REP009 — fault-model seed derivation
+# ----------------------------------------------------------------------
+@register_lint_rule("REP009", title="fault-model seed derivation")
+class FaultSeedDerivationRule(LintRule):
+    """Fault-model code derives every RNG seed through ``derive_seed``.
+
+    The fault engine runs several seeded streams off one driver seed —
+    model target selection, the window schedule, cascade triggers.  A model
+    module that feeds ``random.Random`` a raw seed (``random.Random(
+    self.seed)``, or worse a literal) re-correlates those streams: two
+    components sharing a seed value draw identical sequences and the
+    "independent" faults move in lockstep.  In any module registering a
+    fault model (``@register_fault_model``), every ``random.Random(...)``
+    call must take a ``faults.injector.derive_seed(...)`` result as its
+    seed argument.
+    """
+
+    code = "REP009"
+    title = "fault-model seed derivation"
+
+    @staticmethod
+    def _registers_fault_model(module: LintModule) -> bool:
+        for node in module.of_type(ast.ClassDef):
+            for decorator in node.decorator_list:
+                if not isinstance(decorator, ast.Call):
+                    continue
+                func = decorator.func
+                if isinstance(func, ast.Name) and func.id == "register_fault_model":
+                    return True
+                if isinstance(func, ast.Attribute) and func.attr == "register_fault_model":
+                    return True
+        return False
+
+    @staticmethod
+    def _is_derived_seed(arg: ast.AST) -> bool:
+        if not isinstance(arg, ast.Call):
+            return False
+        func = arg.func
+        if isinstance(func, ast.Name):
+            return func.id == "derive_seed"
+        if isinstance(func, ast.Attribute):
+            return func.attr == "derive_seed"
+        return False
+
+    def check(self, module: LintModule, context: LintContext) -> Iterator[Finding]:
+        if not self._registers_fault_model(module):
+            return
+        for call in module.of_type(ast.Call):
+            if module.qualified_name(call.func) != "random.Random":
+                continue
+            if call.args and self._is_derived_seed(call.args[0]):
+                continue
+            yield self.finding(
+                module, call,
+                "fault-model module seeds random.Random with a raw value; "
+                "pass faults.injector.derive_seed(seed, kind, name) so the "
+                "engine's seeded streams stay decorrelated",
+            )

@@ -260,6 +260,12 @@ class OpenLoopDriver:
         if self.faults is None and fault_params:
             raise WorkloadError("fault_params given without a fault model name")
         self.fault_params = dict(fault_params or {})
+        if self.faults is not None:
+            # Typos in fault parameters fail here, before any simulation
+            # work (spec-built runs validate at spec resolution too).
+            from repro.faults.injector import validate_fault_params
+
+            validate_fault_params(self.faults, self.fault_params)
         self._states: List[_TenantState] = []
         self._measure_start = math.inf
         self._injector = None
@@ -517,4 +523,22 @@ class OpenLoopDriver:
                 "tail_window_cycles": tails.window_cycles,
                 "window_p99": [list(row) for row in tails.window_percentiles(99.0)],
             }
+            coherence = getattr(self.machine, "coherence", None)
+            if coherence is not None:
+                result.fault_profile["directory_retries"] = coherence.directory_retries
+                result.fault_profile["retry_backoff_cycles"] = (
+                    coherence.retry_backoff_cycles
+                )
+            if injector.cascade is not None and injector.cascade_model is not None:
+                # Cascade sub-document only on cascading runs, so plain
+                # faulted results keep their pre-cascade byte layout.
+                result.fault_profile["cascade"] = {
+                    "model": injector.cascade_model.name,
+                    "intensity": injector.cascade_model.intensity,
+                    "probability": injector.cascade.probability,
+                    "delay_cycles": injector.cascade.delay_cycles,
+                    "triggered": injector.triggered,
+                    "windows": [[on, off] for on, off in injector.cascade_windows],
+                    "fingerprint": injector.cascade.cascade_fingerprint(injector.windows),
+                }
         return result

@@ -215,12 +215,25 @@ class FaultWindowsProbe(TelemetryProbe):
         state = ctx.fault_state
         if state is None:
             return None
-        return {
+        payload = {
             "model": state.model.name,
             "active": bool(state.active),
             "windows": int(state.windows),
             "hits": int(state.hits),
         }
+        cascade = getattr(state, "cascade", None)
+        if cascade is not None:
+            # Cascading runs attach a composite state; surface the
+            # secondary model with its trigger lineage.  Plain faulted
+            # runs emit the exact pre-cascade payload.
+            payload["cascade"] = {
+                "model": cascade.model.name,
+                "active": bool(cascade.active),
+                "windows": int(cascade.windows),
+                "hits": int(cascade.hits),
+                "triggered_by": state.primary.model.name,
+            }
+        return payload
 
 
 @register_probe("heap_health")

@@ -94,6 +94,13 @@ class ScenarioSpec:
         elif self.fault_params:
             raise ScenarioError("fault_params given without a fault model name")
         object.__setattr__(self, "fault_params", _jsonable(dict(self.fault_params)))
+        if self.faults is not None:
+            # Unknown fault parameters fail at spec resolution (with a
+            # "did you mean" hint), not mid-simulation.  Lazy import: the
+            # registry module must not depend on the faults package.
+            from repro.faults.injector import validate_fault_params
+
+            validate_fault_params(self.faults, self.fault_params)
 
     # ------------------------------------------------------------------
     # Derivation

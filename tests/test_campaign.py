@@ -177,6 +177,81 @@ class TestCampaign:
         # More hops means strictly larger QP-design latency.
         assert hops_totals[2][0] > hops_totals[1][0]
 
+    def test_broken_pool_entry_retried_once(self, monkeypatch, counting_experiment):
+        # A BrokenProcessPool (OOM-killed or crashed worker) is transient:
+        # the stranded entry is resubmitted exactly once on a fresh pool and
+        # the retry is recorded in the result metadata.  Entries that
+        # completed in the first round keep their results and stay
+        # warning-free.
+        import repro.campaign.runner as runner_module
+        from concurrent.futures.process import BrokenProcessPool
+
+        pools = []
+
+        class FakePool:
+            def __init__(self, max_workers=None):
+                self.first_round = not pools
+                pools.append(self)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, request, obs_spec):
+                break_this = self.first_round and request.params.get("scale") == 2
+
+                class FakeFuture:
+                    def result(self):
+                        if break_this:
+                            raise BrokenProcessPool("worker died")
+                        return fn(request, obs_spec)
+
+                return FakeFuture()
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", FakePool)
+        report = Campaign([
+            RunRequest("counting-test", {"scale": 1}),
+            RunRequest("counting-test", {"scale": 2}),
+        ], max_workers=2).run()
+        assert report.succeeded == 2 and report.failed == 0
+        assert len(pools) == 2  # one retry round on a fresh pool
+        survivor, retried = report.entries
+        assert survivor.error is None and retried.error is None
+        assert survivor.result.metadata.warnings == []
+        assert any("retried once" in warning and "BrokenProcessPool" in warning
+                   for warning in retried.result.metadata.warnings)
+
+    def test_twice_broken_pool_entry_reports_error(self, monkeypatch,
+                                                   counting_experiment):
+        # A second worker death on the retry round is the entry's error.
+        import repro.campaign.runner as runner_module
+        from concurrent.futures.process import BrokenProcessPool
+
+        class AlwaysBrokenPool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, request, obs_spec):
+                class FakeFuture:
+                    def result(self):
+                        raise BrokenProcessPool("worker died")
+
+                return FakeFuture()
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", AlwaysBrokenPool)
+        report = Campaign([RunRequest("counting-test", {"scale": 3})],
+                          max_workers=2).run()
+        assert report.failed == 1
+        assert "BrokenProcessPool" in report.entries[0].error
+
     def test_report_json_round_trip(self, tmp_path):
         report = Campaign(expand_grid("table1", {"hops": [1, 2]})).run()
         path = str(tmp_path / "report.json")

@@ -15,10 +15,12 @@ import json
 import pytest
 
 import repro.noc.packet as packet_module
+from repro.analysis import render_fault_profile
 from repro.campaign import Campaign, RunRequest
 from repro.errors import FaultError, RegistryError, ScenarioError, WorkloadError
 from repro.experiments.registry import get_spec
 from repro.faults import (
+    FaultCascade,
     FaultInjector,
     FaultSchedule,
     WindowedTails,
@@ -26,6 +28,7 @@ from repro.faults import (
     derive_seed,
     recovery_transient_cycles,
     tail_amplification,
+    validate_fault_params,
 )
 from repro.load import OpenLoopDriver
 from repro.scenario.builder import MachineBuilder
@@ -39,12 +42,18 @@ def build_scenario(**spec_kwargs):
     return MachineBuilder(ScenarioSpec(**spec_kwargs)).build()
 
 
-def run_driver(monkeypatch, fusion=True, rate=12.0, seed=1, **kwargs):
-    """One open-loop run on a fresh machine with pinned packet ids."""
+def run_driver(monkeypatch, fusion=True, rate=12.0, seed=1, design="split", **kwargs):
+    """One open-loop run on a fresh machine with pinned packet ids.
+
+    ``design`` defaults to split; coherence-fault tests pass ``edge``, the
+    only design whose kvstore accesses reach the directory (split/per_tile
+    cores touch only their local WQ/CQ blocks, so ``remote_transactions``
+    stays 0 and directory fault models never fire).
+    """
     with monkeypatch.context() as patch:
         patch.setenv("REPRO_HOP_FUSION", "1" if fusion else "0")
         patch.setattr(packet_module, "_packet_ids", itertools.count())
-        scenario = build_scenario()
+        scenario = build_scenario(design=design)
         kwargs.setdefault("warmup_cycles", 1_000)
         kwargs.setdefault("measure_cycles", 6_000)
         return OpenLoopDriver(scenario, rate, seed=seed, **kwargs).run()
@@ -53,7 +62,8 @@ def run_driver(monkeypatch, fusion=True, rate=12.0, seed=1, **kwargs):
 class TestFaultRegistry:
     def test_builtins_registered(self):
         assert FAULT_MODELS.names() == [
-            "link_down", "ni_stall", "packet_loss", "router_degrade", "slow_node",
+            "directory_corrupt", "link_down", "ni_stall", "packet_loss",
+            "router_degrade", "slow_node", "stale_owner_retry",
         ]
 
     def test_unknown_model_suggests(self):
@@ -270,6 +280,54 @@ class TestNoFaultEquivalence:
             else:
                 assert empty_value == baseline_value, name
 
+    @pytest.mark.parametrize("fusion", [True, False])
+    def test_never_triggered_cascade_matches_no_fault_run(self, monkeypatch, fusion):
+        # A configured cascade whose primary schedule realizes no windows
+        # can never trigger: the run must be indistinguishable from one
+        # with no injector at all (beyond the extra serialized fault keys).
+        baseline = run_driver(monkeypatch, fusion=fusion)
+        cascading = run_driver(
+            monkeypatch, fusion=fusion,
+            faults="router_degrade",
+            fault_params={
+                "intensity": 1.0, "max_windows": 0,
+                "cascade": "slow_node", "cascade_probability": 1.0,
+            },
+        )
+        assert cascading.fault_windows == 0
+        assert cascading.fault_hits == 0
+        assert cascading.fault_profile["cascade"]["triggered"] == 0
+        assert cascading.fault_profile["cascade"]["windows"] == []
+        for name in self._COMPARED:
+            baseline_value = getattr(baseline, name)
+            cascading_value = getattr(cascading, name)
+            if name == "tenants":
+                for tenant, stats in baseline_value.items():
+                    assert {k: cascading_value[tenant][k] for k in stats} == stats
+            else:
+                assert cascading_value == baseline_value, name
+
+    def test_idle_directory_fault_leaves_split_run_untouched(self, monkeypatch):
+        # On the split design kvstore cores only touch their local WQ/CQ
+        # blocks (every access is an L1 hit), so the directory never acts
+        # and a coherence fault model has nothing to perturb: even with an
+        # always-open window the run must match the fault-free baseline.
+        baseline = run_driver(monkeypatch)
+        faulted = run_driver(
+            monkeypatch, faults="directory_corrupt",
+            fault_params={"intensity": 1.0, "windows": ((0.0, 1e9),)},
+        )
+        assert faulted.fault_hits == 0
+        assert faulted.fault_profile["directory_retries"] == 0
+        for name in self._COMPARED:
+            baseline_value = getattr(baseline, name)
+            faulted_value = getattr(faulted, name)
+            if name == "tenants":
+                for tenant, stats in baseline_value.items():
+                    assert {k: faulted_value[tenant][k] for k in stats} == stats
+            else:
+                assert faulted_value == baseline_value, name
+
 
 class TestFusedFaultEquivalence:
     """Faulted runs must be byte-identical with fusion on and off."""
@@ -302,6 +360,178 @@ class TestFusedFaultEquivalence:
         assert results[0].to_csv() == results[1].to_csv()
         assert json.dumps(results[0].to_dict(), sort_keys=True) == \
             json.dumps(results[1].to_dict(), sort_keys=True)
+
+
+class TestFaultCascade:
+    PRIMARY = ((1_000.0, 2_000.0), (4_000.0, 5_000.0), (7_000.0, 8_000.0))
+
+    def test_windows_are_seed_deterministic(self):
+        a = FaultCascade(probability=0.6, seed=11)
+        b = FaultCascade(probability=0.6, seed=11)
+        assert a.windows(self.PRIMARY) == b.windows(self.PRIMARY)
+        assert a.cascade_fingerprint(self.PRIMARY) == \
+            b.cascade_fingerprint(self.PRIMARY)
+        assert FaultCascade(probability=0.6, seed=12).cascade_fingerprint(
+            self.PRIMARY) != a.cascade_fingerprint(self.PRIMARY)
+
+    def test_zero_probability_triggers_nothing(self):
+        cascade = FaultCascade(probability=0.0, seed=3)
+        assert cascade.windows(self.PRIMARY) == []
+
+    def test_certain_trigger_fires_after_every_window(self):
+        cascade = FaultCascade(
+            probability=1.0, delay_cycles=100.0, mttr_cycles=400.0, seed=5
+        )
+        realized = cascade.windows(self.PRIMARY)
+        assert len(realized) == len(self.PRIMARY)
+        previous_off = 0.0
+        for (primary_on, _), (on, off) in zip(self.PRIMARY, realized):
+            assert on >= primary_on + 100.0
+            assert on >= previous_off  # clamped non-overlapping
+            assert off > on
+            previous_off = off
+
+    def test_invalid_cascade_params_rejected(self):
+        with pytest.raises(FaultError, match="probability"):
+            FaultCascade(probability=1.5)
+        with pytest.raises(FaultError, match="delay"):
+            FaultCascade(delay_cycles=-1.0)
+        with pytest.raises(FaultError, match="MTTR"):
+            FaultCascade(mttr_cycles=0.0)
+
+    def test_build_injector_wires_cascade(self):
+        scenario = build_scenario()
+        make = lambda params: build_fault_injector(
+            scenario.machine, "router_degrade", params, seed=1
+        )
+        plain = make({"intensity": 0.5})
+        cascading = make({"intensity": 0.5, "cascade": "slow_node",
+                          "cascade_probability": 0.75})
+        assert cascading.cascade_model.name == "slow_node"
+        assert cascading.cascade.probability == 0.75
+        # The cascade spec extends the fingerprint payload.
+        assert plain.fingerprint() != cascading.fingerprint()
+        assert cascading.fingerprint() == make(
+            {"intensity": 0.5, "cascade": "slow_node", "cascade_probability": 0.75}
+        ).fingerprint()
+
+    def test_cascade_params_without_model_rejected(self):
+        scenario = build_scenario()
+        with pytest.raises(FaultError, match="without a 'cascade' model"):
+            build_fault_injector(
+                scenario.machine, "router_degrade",
+                {"intensity": 0.5, "cascade_probability": 0.5}, seed=1,
+            )
+
+    def test_cascading_run_reports_profile(self, monkeypatch):
+        result = run_driver(
+            monkeypatch,
+            faults="router_degrade",
+            fault_params={
+                "intensity": 0.5, "windows": ((1_000.0, 2_000.0), (4_000.0, 5_000.0)),
+                "cascade": "slow_node", "cascade_probability": 1.0,
+                "cascade_delay_cycles": 200.0, "cascade_mttr_cycles": 800.0,
+            },
+        )
+        doc = result.fault_profile["cascade"]
+        assert doc["model"] == "slow_node"
+        assert doc["probability"] == 1.0
+        assert doc["triggered"] == 2
+        assert doc["windows"]
+        assert doc["fingerprint"]
+        # Primary activations plus cascade activations both count.
+        assert result.fault_windows > 2
+
+    @pytest.mark.parametrize("fusion", [True, False])
+    def test_cascading_runs_reproduce_exactly(self, monkeypatch, fusion):
+        params = {
+            "intensity": 0.5, "mtbf_cycles": 1_500.0, "mttr_cycles": 600.0,
+            "cascade": "slow_node", "cascade_probability": 0.75,
+            "cascade_delay_cycles": 150.0,
+        }
+        first = run_driver(monkeypatch, fusion=fusion,
+                           faults="router_degrade", fault_params=params)
+        second = run_driver(monkeypatch, fusion=fusion,
+                            faults="router_degrade", fault_params=params)
+        assert json.dumps(first.to_dict(), sort_keys=True) == \
+            json.dumps(second.to_dict(), sort_keys=True)
+
+    def test_cascading_run_fusion_equivalence(self, monkeypatch):
+        params = {
+            "intensity": 0.5, "windows": ((1_000.0, 3_000.0),),
+            "cascade": "slow_node", "cascade_probability": 1.0,
+            "cascade_delay_cycles": 250.0,
+        }
+        fused = run_driver(monkeypatch, fusion=True,
+                           faults="router_degrade", fault_params=params)
+        unfused = run_driver(monkeypatch, fusion=False,
+                             faults="router_degrade", fault_params=params)
+        assert json.dumps(fused.to_dict(), sort_keys=True) == \
+            json.dumps(unfused.to_dict(), sort_keys=True)
+        assert fused.fault_profile["cascade"]["triggered"] == 1
+
+
+class TestBlastRadius:
+    def _bind(self, scenario, name, seed=9, intensity=0.25, **params):
+        model = FAULT_MODELS.get(name).from_params(intensity, seed=seed, **params)
+        model.bind(scenario.machine, list(range(16)))
+        return model
+
+    def test_decay_zero_matches_legacy_uniform_draw(self):
+        scenario = build_scenario()
+        legacy = self._bind(scenario, "link_down")
+        explicit = self._bind(scenario, "link_down", blast_decay=0.0)
+        assert legacy.routers == explicit.routers != frozenset()
+
+    def test_blast_targets_cluster_around_epicenter(self):
+        scenario = build_scenario()
+        hop = scenario.machine.fabric.topology.hop_count
+        uniform = self._bind(scenario, "link_down", intensity=0.5)
+        blast = self._bind(scenario, "link_down", intensity=0.5,
+                           blast_decay=0.05, blast_epicenter=0)
+        origin = sorted(scenario.machine.fabric.topology.nodes(), key=repr)[0]
+        mean = lambda targets: sum(hop(origin, node) for node in targets) \
+            / len(targets)
+        assert origin in blast.routers
+        assert mean(blast.routers) < mean(uniform.routers)
+
+    @pytest.mark.parametrize("topology", ["mesh", "noc_out", "torus3d"])
+    def test_blast_deterministic_across_machine_rebuilds(self, topology):
+        picks = []
+        for _ in range(2):
+            scenario = build_scenario(topology=topology)
+            model = self._bind(scenario, "router_degrade",
+                               blast_decay=0.4, blast_epicenter=2)
+            picks.append(model.routers)
+        assert picks[0] == picks[1] != frozenset()
+
+    def test_core_blast_pins_epicenter(self):
+        scenario = build_scenario()
+        uniform = self._bind(scenario, "slow_node", intensity=0.5)
+        blast = self._bind(scenario, "slow_node", intensity=0.5,
+                           blast_decay=0.05, blast_epicenter=3)
+        assert 3 in blast.cores
+        assert blast.cores != uniform.cores
+
+    def test_invalid_decay_rejected(self):
+        cls = FAULT_MODELS.get("link_down")
+        with pytest.raises(FaultError, match="blast_decay"):
+            cls.from_params(0.5, blast_decay=1.5)
+        with pytest.raises(FaultError, match="blast_decay"):
+            cls.from_params(0.5, blast_decay=-0.1)
+
+    def test_blast_run_fusion_equivalence(self, monkeypatch):
+        params = {
+            "intensity": 0.5, "windows": ((1_000.0, 3_000.0),),
+            "blast_decay": 0.6, "blast_epicenter": 2,
+        }
+        fused = run_driver(monkeypatch, fusion=True,
+                           faults="router_degrade", fault_params=params)
+        unfused = run_driver(monkeypatch, fusion=False,
+                             faults="router_degrade", fault_params=params)
+        assert json.dumps(fused.to_dict(), sort_keys=True) == \
+            json.dumps(unfused.to_dict(), sort_keys=True)
+        assert fused.fault_hits > 0
 
 
 class TestFaultEffects:
@@ -355,6 +585,163 @@ class TestFaultEffects:
         document = run_driver(monkeypatch).to_dict()
         assert "faults" not in document
         assert "fault_profile" not in document
+
+
+class TestCoherenceFaults:
+    """Directory fault models, driven on the edge design (the only design
+    whose kvstore accesses produce remote coherence transactions)."""
+
+    WINDOW = {"windows": ((500.0, 6_000.0),), "intensity": 1.0}
+
+    def test_directory_corrupt_forces_bounded_retries(self, monkeypatch):
+        baseline = run_driver(monkeypatch, design="edge", rate=8.0)
+        faulted = run_driver(
+            monkeypatch, design="edge", rate=8.0,
+            faults="directory_corrupt", fault_params=dict(self.WINDOW),
+        )
+        profile = faulted.fault_profile
+        assert profile["directory_retries"] > 0
+        assert profile["retry_backoff_cycles"] > 0.0
+        # The model only perturbs via the directory hook, so every hit is a
+        # forced retry.
+        assert faulted.fault_hits == profile["directory_retries"]
+        assert tail_amplification(
+            faulted.latency_cycles["p99"], baseline.latency_cycles["p99"]
+        ) > 1.0
+
+    def test_stale_owner_retry_accounts_exponential_backoff(self, monkeypatch):
+        flat = run_driver(
+            monkeypatch, design="edge", rate=8.0,
+            faults="directory_corrupt",
+            fault_params=dict(self.WINDOW, retry_cycles=20.0, max_retries=3),
+        )
+        storm = run_driver(
+            monkeypatch, design="edge", rate=8.0,
+            faults="stale_owner_retry",
+            fault_params=dict(self.WINDOW, backoff_cycles=20.0, max_retries=3),
+        )
+        assert storm.fault_profile["directory_retries"] > 0
+        # Exponential backoff (20 * 2**attempt) charges more cycles per
+        # retry than the flat 20-cycle re-lookup.
+        assert storm.fault_profile["retry_backoff_cycles"] / \
+            storm.fault_profile["directory_retries"] > \
+            flat.fault_profile["retry_backoff_cycles"] / \
+            flat.fault_profile["directory_retries"]
+
+    @pytest.mark.parametrize("name,params", [
+        ("directory_corrupt", {"retry_cycles": 40.0, "max_retries": 2}),
+        ("stale_owner_retry", {"backoff_cycles": 20.0, "max_retries": 3}),
+    ])
+    def test_retries_stop_at_max_retries(self, name, params):
+        model = FAULT_MODELS.get(name).from_params(1.0, seed=4, **params)
+        affected = next(addr for addr in range(4096) if model._block_affected(addr))
+        limit = params["max_retries"]
+        assert all(model.directory_retry(None, affected, attempt) > 0.0
+                   for attempt in range(limit))
+        assert model.directory_retry(None, affected, limit) == 0.0
+
+    def test_block_selection_is_hash_deterministic(self):
+        make = lambda seed: FAULT_MODELS.get("directory_corrupt").from_params(
+            0.3, seed=seed
+        )
+        first = [make(7)._block_affected(addr) for addr in range(512)]
+        second = [make(7)._block_affected(addr) for addr in range(512)]
+        assert first == second
+        assert 0 < sum(first) < 512
+        assert [make(8)._block_affected(addr) for addr in range(512)] != first
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(FaultError, match="retry_cycles"):
+            FAULT_MODELS.get("directory_corrupt").from_params(0.5, retry_cycles=-1.0)
+        with pytest.raises(FaultError, match="max_retries"):
+            FAULT_MODELS.get("stale_owner_retry").from_params(0.5, max_retries=0)
+
+    def test_coherence_fault_fusion_equivalence(self, monkeypatch):
+        params = dict(self.WINDOW)
+        fused = run_driver(monkeypatch, fusion=True, design="edge", rate=8.0,
+                           faults="directory_corrupt", fault_params=params)
+        unfused = run_driver(monkeypatch, fusion=False, design="edge", rate=8.0,
+                             faults="directory_corrupt", fault_params=params)
+        assert json.dumps(fused.to_dict(), sort_keys=True) == \
+            json.dumps(unfused.to_dict(), sort_keys=True)
+        assert fused.fault_profile["directory_retries"] > 0
+
+
+class TestFaultParamValidation:
+    """Unknown fault_params fail at spec-resolution time, with suggestions."""
+
+    def test_spec_rejects_typo_with_suggestion(self):
+        with pytest.raises(FaultError, match="did you mean 'penalty_cycles'"):
+            ScenarioSpec(
+                workload="kvstore", faults="slow_node",
+                fault_params={"penalty_cycle": 30.0},
+            )
+
+    def test_driver_rejects_typo_before_running(self):
+        scenario = build_scenario()
+        with pytest.raises(FaultError, match="did you mean 'multiplier'"):
+            OpenLoopDriver(
+                scenario, 8.0, faults="router_degrade",
+                fault_params={"multiplyer": 2.0},
+            )
+
+    def test_unknown_cascade_model_suggests(self):
+        with pytest.raises(RegistryError, match="slow_node"):
+            ScenarioSpec(
+                workload="kvstore", faults="router_degrade",
+                fault_params={"cascade": "slow_nod"},
+            )
+
+    def test_validate_accepts_every_namespace(self):
+        assert validate_fault_params("router_degrade", {
+            "intensity": 0.5, "mtbf_cycles": 1_000.0, "multiplier": 2.0,
+            "blast_decay": 0.3, "cascade": "slow_node",
+            "cascade_probability": 0.5, "tail_window_cycles": 250.0,
+        }) == "router_degrade"
+
+    def test_validate_lists_accepted_names(self):
+        with pytest.raises(FaultError, match="accepted:"):
+            validate_fault_params("link_down", {"bogus_knob": 1})
+
+
+class TestFaultProfileFigure:
+    ROWS = [(0.0, 12, 80.0), (500.0, 10, 400.0), (1_000.0, 11, 90.0)]
+
+    def test_marks_fault_and_cascade_overlap(self):
+        lines = render_fault_profile(
+            self.ROWS, [(600.0, 900.0)], 500.0,
+            cascade_windows=[(1_100.0, 1_300.0)],
+        )
+        assert lines[0].startswith("per-window p99")
+        assert lines[1].startswith("         0    |")
+        assert lines[2].startswith("       500 *  |")
+        assert lines[3].startswith("      1000  + |")
+        assert "p99      400.0  n=10" in lines[2]
+        # Bars scale to the peak window.
+        assert lines[2].count("#") == 32
+        assert 0 < lines[1].count("#") < 32
+
+    def test_recovery_transient_footer(self):
+        degraded = render_fault_profile(
+            self.ROWS, [(600.0, 900.0)], 500.0, baseline_p99=80.0
+        )
+        assert degraded[-1].startswith("recovery transient: mean")
+        never_recovered = render_fault_profile(
+            [(0.0, 10, 400.0), (500.0, 10, 400.0)], [(600.0, 900.0)], 500.0,
+            baseline_p99=80.0,
+        )
+        assert never_recovered[-1].startswith("recovery transient: none")
+
+    def test_empty_rows_render_placeholder(self):
+        assert render_fault_profile([], [(0.0, 1.0)], 500.0) == \
+            ["no completions recorded in any tail window"]
+
+    def test_rendering_is_deterministic(self):
+        first = render_fault_profile(self.ROWS, [(600.0, 900.0)], 500.0,
+                                     baseline_p99=80.0)
+        second = render_fault_profile(self.ROWS, [(600.0, 900.0)], 500.0,
+                                      baseline_p99=80.0)
+        assert first == second
 
 
 class TestResilienceMetrics:
@@ -444,6 +831,55 @@ class TestChaosSweepDeterminism:
             assert entry_s.result.rows == entry_p.result.rows
             assert entry_s.result.notes == entry_p.result.notes
 
+    # A cascading + blast-targeted configuration, as repeated key=value
+    # strings the way the CLI carries fault_params.
+    CASCADE_FAULT_PARAMS = [
+        "cascade=slow_node", "cascade_probability=0.75",
+        "cascade_delay_cycles=150", "blast_decay=0.6",
+    ]
+
+    def test_cascade_blast_sweep_reruns_byte_identical(self, monkeypatch):
+        def run():
+            with monkeypatch.context() as patch:
+                patch.setattr(packet_module, "_packet_ids", itertools.count())
+                result = get_spec("chaos_sweep").run(
+                    fault_params=self.CASCADE_FAULT_PARAMS, **self.PARAMS
+                )
+            result.metadata.wall_time_s = 0.0
+            result.metadata.perf = {}
+            return result
+
+        first = run()
+        second = run()
+        assert first.to_csv() == second.to_csv()
+        assert json.dumps(first.to_dict(), sort_keys=True) == \
+            json.dumps(second.to_dict(), sort_keys=True)
+        assert any(note.startswith("fault_profile:") for note in first.notes)
+
+    def test_cascade_blast_parallel_workers_match_serial(self, monkeypatch):
+        request_params = {key: list(value) if isinstance(value, tuple) else value
+                          for key, value in self.PARAMS.items()}
+        request_params["fault_params"] = list(self.CASCADE_FAULT_PARAMS)
+
+        def requests():
+            return [
+                RunRequest("chaos_sweep", dict(request_params)),
+                RunRequest("chaos_sweep", dict(request_params, intensities=[1.0])),
+            ]
+
+        monkeypatch.setattr(packet_module, "_packet_ids", itertools.count())
+        serial = Campaign(requests()).run()
+        monkeypatch.setattr(packet_module, "_packet_ids", itertools.count())
+        parallel = Campaign(requests(), max_workers=2).run()
+        assert serial.succeeded == parallel.succeeded == 2
+        for entry_s, entry_p in zip(serial.entries, parallel.entries):
+            assert entry_s.result.rows == entry_p.result.rows
+            # Notes include the rendered fault_profile figure; it must be
+            # byte-identical across worker counts.
+            assert entry_s.result.notes == entry_p.result.notes
+            assert any(note.startswith("fault_profile:")
+                       for note in entry_s.result.notes)
+
     def test_campaign_report_digests_resilience(self, monkeypatch):
         monkeypatch.setattr(packet_module, "_packet_ids", itertools.count())
         report = Campaign([
@@ -480,5 +916,10 @@ class TestCliSurfacing:
         faults = catalog["registries"]["faults"]
         assert [item["name"] for item in faults] == FAULT_MODELS.names()
         by_name = {item["name"]: item for item in faults}
-        assert by_name["router_degrade"]["parameters"] == {"multiplier": 4.0}
+        assert by_name["router_degrade"]["parameters"] == {
+            "multiplier": 4.0, "blast_decay": 0.0, "blast_epicenter": -1,
+        }
+        assert by_name["directory_corrupt"]["parameters"] == {
+            "retry_cycles": 40.0, "max_retries": 2,
+        }
         assert "chaos_sweep" in [item["name"] for item in catalog["experiments"]]

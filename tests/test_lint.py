@@ -60,7 +60,7 @@ class TestLintRegistry:
     def test_builtin_rules_registered(self):
         assert LINT_RULES.names() == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
-            "REP008",
+            "REP008", "REP009",
         ]
 
     def test_rules_have_titles_and_doc_urls(self):
@@ -581,6 +581,66 @@ class TestREP008ProbeContract:
                 def tick(self, ctx):
                     ctx.sim.flag = True
         """}, rules=["REP008"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP009 — fault-model seed derivation
+# ----------------------------------------------------------------------
+class TestREP009SeedDerivation:
+    def test_raw_seed_in_fault_model_module_flagged(self, tmp_path):
+        findings = run_fixture(tmp_path, {"faults/plug.py": """
+            import random
+
+            @register_fault_model("bad")
+            class BadFault(FaultModel):
+                name = "bad"
+
+                def bind(self, machine, core_ids):
+                    rng = random.Random(self.seed)
+                    self.targets = frozenset(rng.sample(core_ids, 2))
+        """}, rules=["REP009"])
+        assert codes(findings) == ["REP009"]
+        assert "derive_seed" in findings[0].message
+
+    def test_unseeded_rng_in_fault_model_module_flagged(self, tmp_path):
+        findings = run_fixture(tmp_path, {"faults/plug.py": """
+            import random
+
+            @register_fault_model("bad")
+            class BadFault(FaultModel):
+                name = "bad"
+
+                def bind(self, machine, core_ids):
+                    self.targets = frozenset([random.Random().randrange(16)])
+        """}, rules=["REP009"])
+        assert codes(findings) == ["REP009"]
+
+    def test_derived_seed_is_clean(self, tmp_path):
+        findings = run_fixture(tmp_path, {"faults/plug.py": """
+            import random
+
+            from repro.faults.injector import derive_seed
+
+            @register_fault_model("good")
+            class GoodFault(FaultModel):
+                name = "good"
+
+                def bind(self, machine, core_ids):
+                    rng = random.Random(derive_seed(self.seed, "bind", self.name))
+                    self.targets = frozenset(rng.sample(core_ids, 2))
+        """}, rules=["REP009"])
+        assert findings == []
+
+    def test_module_without_fault_models_ignored(self, tmp_path):
+        # Raw seeding is only the fault engine's concern; other modules
+        # are covered by the determinism rules, not REP009.
+        findings = run_fixture(tmp_path, {"load/arrivals.py": """
+            import random
+
+            def jitter(seed):
+                return random.Random(seed).random()
+        """}, rules=["REP009"])
         assert findings == []
 
 
